@@ -1,0 +1,126 @@
+//! Sweep configuration shared by the simulated backends.
+
+use doe_simtime::SimDuration;
+
+/// Configuration of a BabelStream campaign on a simulated machine.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Smallest vector length in `f64` elements (paper: 16 Ki).
+    pub min_elems: u64,
+    /// Largest vector length in `f64` elements (paper: ≥ 16 Mi for CPUs —
+    /// at least 128 MB — and 128 Mi / 1 GiB for GPUs).
+    pub max_elems: u64,
+    /// Repeats inside one "binary run" (BabelStream default: 100).
+    pub inner_iters: u32,
+    /// Number of "binary runs" aggregated into mean ± σ (paper: 100).
+    pub reps: usize,
+    /// Fixed per-kernel-invocation host overhead (fork-join, loop setup);
+    /// dominates at small vector sizes and produces the rising edge of the
+    /// size-sweep curve.
+    pub overhead_per_kernel: SimDuration,
+}
+
+impl SweepConfig {
+    /// The paper's CPU campaign: 16 Ki → 16 Mi doubles (128 MiB arrays).
+    pub fn paper_cpu() -> Self {
+        SweepConfig {
+            min_elems: 16 * 1024,
+            max_elems: 16 * 1024 * 1024,
+            inner_iters: 100,
+            reps: 100,
+            overhead_per_kernel: SimDuration::from_us(4.0),
+        }
+    }
+
+    /// The paper's GPU campaign: 1 GiB arrays (128 Mi doubles).
+    pub fn paper_gpu() -> Self {
+        SweepConfig {
+            min_elems: 16 * 1024,
+            max_elems: 128 * 1024 * 1024,
+            inner_iters: 100,
+            reps: 100,
+            overhead_per_kernel: SimDuration::ZERO, // covered by launch cost
+        }
+    }
+
+    /// A reduced campaign for fast tests. The largest size still exceeds
+    /// every modelled last-level cache (3 × 32 MiB arrays), so table
+    /// values remain DRAM-bound like the paper's.
+    pub fn quick() -> Self {
+        SweepConfig {
+            min_elems: 16 * 1024,
+            max_elems: 4 * 1024 * 1024,
+            inner_iters: 5,
+            reps: 10,
+            overhead_per_kernel: SimDuration::from_us(4.0),
+        }
+    }
+
+    /// The power-of-two size schedule `min..=max`.
+    pub fn sizes(&self) -> Vec<u64> {
+        assert!(self.min_elems > 0, "min_elems must be positive");
+        assert!(
+            self.min_elems <= self.max_elems,
+            "min_elems must not exceed max_elems"
+        );
+        let mut out = Vec::new();
+        let mut n = self.min_elems;
+        while n < self.max_elems {
+            out.push(n);
+            n = n.saturating_mul(2);
+        }
+        out.push(self.max_elems);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cpu_sizes_span_16k_to_16m() {
+        let s = SweepConfig::paper_cpu().sizes();
+        assert_eq!(*s.first().unwrap(), 16 * 1024);
+        assert_eq!(*s.last().unwrap(), 16 * 1024 * 1024);
+        assert_eq!(s.len(), 11); // 16k,32k,...,16M: 11 powers of two
+                                 // Largest CPU arrays are 128 MiB, the paper's floor.
+        assert_eq!(16 * 1024 * 1024 * 8, 128 * 1024 * 1024);
+    }
+
+    #[test]
+    fn paper_gpu_top_size_is_1gib_arrays() {
+        let s = SweepConfig::paper_gpu().sizes();
+        assert_eq!(*s.last().unwrap() * 8, 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn sizes_are_doubling_and_sorted() {
+        let s = SweepConfig::quick().sizes();
+        for w in s.windows(2) {
+            assert!(w[1] == w[0] * 2 || w[1] == *s.last().unwrap());
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_max_is_included_once() {
+        let cfg = SweepConfig {
+            min_elems: 1000,
+            max_elems: 5000,
+            ..SweepConfig::quick()
+        };
+        assert_eq!(cfg.sizes(), vec![1000, 2000, 4000, 5000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_elems must not exceed")]
+    fn inverted_range_panics() {
+        let cfg = SweepConfig {
+            min_elems: 10,
+            max_elems: 5,
+            ..SweepConfig::quick()
+        };
+        cfg.sizes();
+    }
+}

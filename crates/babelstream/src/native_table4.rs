@@ -1,0 +1,125 @@
+//! The paper's Table 4 bandwidth protocol executed on the host machine:
+//! sweep the Table 1 thread-count combinations (1, `#cores`, `#threads`),
+//! run the five kernels at each, and report the best single-thread and
+//! best all-thread bandwidth — your machine's row of Table 4.
+//!
+//! `OMP_PROC_BIND`/`OMP_PLACES` rows collapse here: the portable native
+//! backend cannot pin threads, so binding variants differ only through OS
+//! scheduling noise, exactly as an unbound OpenMP run would.
+
+use doe_benchlib::{Samples, Summary};
+use doe_memmodel::StreamOp;
+use doe_omp::{host_topology, HostTopology};
+
+use crate::native::{run_native, NativeStreamConfig};
+
+/// Configuration of the native Table 4 protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct NativeTable4Config {
+    /// Vector length in `f64` elements (the paper uses ≥ 16 Mi).
+    pub elems: usize,
+    /// Timed iterations per thread count.
+    pub iters: u32,
+    /// Outer repetitions aggregated into mean ± σ.
+    pub reps: usize,
+}
+
+impl NativeTable4Config {
+    /// A fast configuration for tests and smoke runs.
+    pub fn quick() -> Self {
+        NativeTable4Config {
+            elems: 256 * 1024,
+            iters: 5,
+            reps: 3,
+        }
+    }
+
+    /// The paper-faithful protocol (slow: minutes on a laptop).
+    pub fn paper() -> Self {
+        NativeTable4Config {
+            elems: 16 * 1024 * 1024,
+            iters: 100,
+            reps: 100,
+        }
+    }
+}
+
+/// The host machine's Table 4 bandwidth columns.
+#[derive(Clone, Debug)]
+pub struct NativeTable4Report {
+    /// Detected host topology.
+    pub topology: HostTopology,
+    /// Best single-thread bandwidth, GB/s.
+    pub single: Summary,
+    /// Best all-thread bandwidth, GB/s.
+    pub all: Summary,
+    /// Kernel that won the all-thread figure in the final repetition.
+    pub best_op: StreamOp,
+    /// Thread count that won the all-thread figure in the final repetition.
+    pub best_threads: usize,
+}
+
+/// Run the protocol.
+pub fn run_native_table4(cfg: &NativeTable4Config) -> NativeTable4Report {
+    let topo = host_topology();
+    // The distinct thread counts of Table 1 on this host.
+    let mut counts = vec![topo.physical_cores, topo.hw_threads];
+    counts.dedup();
+    let mut single = Samples::new();
+    let mut all = Samples::new();
+    let mut best_op = StreamOp::Copy;
+    let mut best_threads = 1;
+    for _ in 0..cfg.reps {
+        let one = run_native(&NativeStreamConfig {
+            elems: cfg.elems,
+            iters: cfg.iters,
+            nthreads: Some(1),
+        });
+        assert!(one.verified, "single-thread verification failed");
+        single.push(one.best_overall().1);
+
+        let mut best = 0.0f64;
+        for &threads in &counts {
+            let rep = run_native(&NativeStreamConfig {
+                elems: cfg.elems,
+                iters: cfg.iters,
+                nthreads: Some(threads),
+            });
+            assert!(rep.verified, "{threads}-thread verification failed");
+            let (op, bw) = rep.best_overall();
+            if bw > best {
+                best = bw;
+                best_op = op;
+                best_threads = threads;
+            }
+        }
+        all.push(best);
+    }
+    NativeTable4Report {
+        topology: topo,
+        single: single.summary(),
+        all: all.summary(),
+        best_op,
+        best_threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_row_is_plausible() {
+        let rep = run_native_table4(&NativeTable4Config::quick());
+        assert!(rep.single.mean > 0.1, "single={}", rep.single.mean);
+        assert!(
+            rep.all.mean >= rep.single.mean * 0.5,
+            "all={} single={}",
+            rep.all.mean,
+            rep.single.mean
+        );
+        assert!(rep.best_threads >= 1);
+        assert!(rep.topology.hw_threads >= rep.topology.physical_cores);
+        assert_eq!(rep.single.n, NativeTable4Config::quick().reps);
+    }
+}

@@ -1,0 +1,160 @@
+//! Native memory-*latency* measurement: a dependent pointer chase.
+//!
+//! BabelStream answers "what is the realizable memory bandwidth?"; the
+//! paper's other headline question is about latencies. This is the classic
+//! lmbench-style load-to-use measurement: a random cyclic permutation is
+//! chased so every load depends on the previous one, defeating prefetch
+//! and overlap. Sweeping the working-set size walks the result through the
+//! cache hierarchy (L1 → L2 → LLC → DRAM).
+
+use std::time::Instant;
+
+use doe_simtime::SimRng;
+
+/// Configuration of a pointer-chase campaign.
+#[derive(Clone, Debug)]
+pub struct ChaseConfig {
+    /// Working-set sizes in bytes to sweep.
+    pub sizes: Vec<usize>,
+    /// Loads per timed measurement.
+    pub loads: usize,
+    /// Seed for the permutation shuffle.
+    pub seed: u64,
+}
+
+impl ChaseConfig {
+    /// A sweep from 16 KiB to 64 MiB by powers of four.
+    pub fn sweep() -> Self {
+        let mut sizes = Vec::new();
+        let mut s = 16 * 1024;
+        while s <= 64 * 1024 * 1024 {
+            sizes.push(s);
+            s *= 4;
+        }
+        ChaseConfig {
+            sizes,
+            loads: 2_000_000,
+            seed: 0xC4A5E,
+        }
+    }
+
+    /// A reduced configuration for tests.
+    pub fn quick() -> Self {
+        ChaseConfig {
+            sizes: vec![16 * 1024, 4 * 1024 * 1024],
+            loads: 200_000,
+            seed: 0xC4A5E,
+        }
+    }
+}
+
+/// One point of the latency curve.
+#[derive(Clone, Copy, Debug)]
+pub struct ChasePoint {
+    /// Working-set size in bytes.
+    pub bytes: usize,
+    /// Measured load-to-use latency in nanoseconds.
+    pub ns_per_load: f64,
+}
+
+/// Build a single random cycle over `n` slots (Sattolo's algorithm), so a
+/// chase visits every slot before repeating.
+fn random_cycle(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = SimRng::from_seed(seed);
+    let mut perm: Vec<usize> = (0..n).collect();
+    // Sattolo: shuffle into a single n-cycle.
+    for i in (1..n).rev() {
+        let j = rng.below(i as u64) as usize; // j in [0, i)
+        perm.swap(i, j);
+    }
+    // perm is a cyclic permutation in one-line form; convert to successor
+    // form: next[perm[k]] = perm[(k+1) % n].
+    let mut next = vec![0usize; n];
+    for k in 0..n {
+        next[perm[k]] = perm[(k + 1) % n];
+    }
+    next
+}
+
+/// Measure the load-to-use latency for each configured working-set size.
+pub fn run_pointer_chase(cfg: &ChaseConfig) -> Vec<ChasePoint> {
+    assert!(cfg.loads > 0, "need at least one load");
+    cfg.sizes
+        .iter()
+        .map(|&bytes| {
+            let slots = (bytes / std::mem::size_of::<usize>()).max(16);
+            let chain = random_cycle(slots, cfg.seed);
+            // Warm the working set and reach a steady position.
+            let mut pos = 0usize;
+            for _ in 0..slots {
+                pos = chain[pos];
+            }
+            let t0 = Instant::now();
+            for _ in 0..cfg.loads {
+                pos = chain[pos];
+            }
+            let dt = t0.elapsed();
+            // Keep the dependency chain alive.
+            std::hint::black_box(pos);
+            ChasePoint {
+                bytes,
+                ns_per_load: dt.as_nanos() as f64 / cfg.loads as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_is_a_single_loop_visiting_everything() {
+        for n in [16usize, 64, 1000] {
+            let next = random_cycle(n, 7);
+            let mut seen = vec![false; n];
+            let mut pos = 0;
+            for _ in 0..n {
+                assert!(!seen[pos], "revisited slot {pos} early (n={n})");
+                seen[pos] = true;
+                pos = next[pos];
+            }
+            assert_eq!(pos, 0, "must return to start after n steps");
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn cycle_is_deterministic_per_seed() {
+        assert_eq!(random_cycle(256, 1), random_cycle(256, 1));
+        assert_ne!(random_cycle(256, 1), random_cycle(256, 2));
+    }
+
+    #[test]
+    fn chase_produces_plausible_latencies() {
+        let pts = run_pointer_chase(&ChaseConfig::quick());
+        assert_eq!(pts.len(), 2);
+        for p in &pts {
+            // Anything from sub-ns (unrealistic but possible on tiny sets
+            // with speculative hardware) to 1 µs covers every real machine.
+            assert!(
+                p.ns_per_load > 0.05 && p.ns_per_load < 1000.0,
+                "{} B: {} ns",
+                p.bytes,
+                p.ns_per_load
+            );
+        }
+        // The 4 MiB set cannot be faster than the 16 KiB (L1-resident) set.
+        assert!(pts[1].ns_per_load >= pts[0].ns_per_load * 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one load")]
+    fn zero_loads_rejected() {
+        run_pointer_chase(&ChaseConfig {
+            sizes: vec![1024],
+            loads: 0,
+            seed: 1,
+        });
+    }
+}

@@ -1,0 +1,157 @@
+//! The simulated-GPU backend: Table 5's "Device" bandwidth column.
+//!
+//! The campaign allocates three device arrays, launches `inner_iters`
+//! repetitions of each kernel into a stream, synchronizes, and derives the
+//! bandwidth from virtual elapsed time — the same structure as
+//! BabelStream's CUDA/HIP backends. Per the paper, only device 0 is used
+//! ("BabelStream only uses one of the two GCDs" on MI250X).
+
+use std::sync::Arc;
+
+use doe_benchlib::{run_reps, Summary};
+use doe_gpurt::GpuRuntime;
+use doe_gpusim::GpuModel;
+use doe_memmodel::StreamOp;
+use doe_topo::NodeTopology;
+
+use crate::config::SweepConfig;
+
+/// Results of a simulated GPU BabelStream campaign.
+#[derive(Clone, Debug)]
+pub struct GpuStreamReport {
+    /// Best-kernel device bandwidth (GB/s), mean ± σ over runs.
+    pub device: Summary,
+    /// The winning kernel (final run).
+    pub best_op: StreamOp,
+    /// Best bandwidth per vector size (final run).
+    pub curve: Vec<(u64, f64)>,
+}
+
+/// Run the GPU campaign on device 0 of the node.
+pub fn run_sim_gpu(
+    topo: Arc<NodeTopology>,
+    models: &[GpuModel],
+    seed: u64,
+    cfg: &SweepConfig,
+) -> GpuStreamReport {
+    assert!(
+        topo.has_accelerators(),
+        "GPU BabelStream requires an accelerator node"
+    );
+    let sizes = cfg.sizes();
+    let mut best_op = StreamOp::Copy;
+    let mut curve: Vec<(u64, f64)> = Vec::new();
+
+    let samples = run_reps(cfg.reps, |rep| {
+        let mut rt = GpuRuntime::new(
+            Arc::clone(&topo),
+            models.to_vec(),
+            seed ^ (rep as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let dev = rt.current_device();
+        let stream = rt.default_stream(dev).expect("device 0 exists");
+        let mut best = 0.0f64;
+        curve.clear();
+        for &n in &sizes {
+            let mut best_at_size = 0.0f64;
+            for &op in &StreamOp::ALL {
+                let t0 = rt.now();
+                for _ in 0..cfg.inner_iters {
+                    rt.launch_stream_op(&stream, op, n).expect("launch");
+                }
+                rt.stream_synchronize(&stream).expect("sync");
+                let elapsed = rt.now().since(t0);
+                let bytes = op.reported_bytes(n) * cfg.inner_iters as u64;
+                let bw = elapsed.bandwidth_gb_s(bytes);
+                if bw > best_at_size {
+                    best_at_size = bw;
+                }
+                if n == *sizes.last().expect("nonempty") && bw > best {
+                    best = bw;
+                    best_op = op;
+                }
+            }
+            curve.push((n, best_at_size));
+        }
+        best
+    });
+
+    GpuStreamReport {
+        device: samples.summary(),
+        best_op,
+        curve,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doe_memmodel::MemDomainModel;
+    use doe_simtime::SimDuration;
+    use doe_topo::{DeviceId, LinkKind, NodeBuilder, NumaId, SocketId, Vertex};
+
+    fn gpu_node() -> (Arc<NodeTopology>, Vec<GpuModel>) {
+        let topo = NodeBuilder::new("gpu-node")
+            .socket("CPU")
+            .numa(SocketId(0))
+            .cores(NumaId(0), 16, 2)
+            .device("SimGPU", NumaId(0))
+            .link(
+                Vertex::Numa(NumaId(0)),
+                Vertex::Device(DeviceId(0)),
+                LinkKind::Pcie { gen: 4, lanes: 16 },
+                SimDuration::from_ns(500.0),
+                25.0,
+            )
+            .build()
+            .expect("valid");
+        let mut hbm = MemDomainModel::new("HBM2e", 1555.2, 30.0);
+        hbm.sustained_efficiency = 0.877;
+        let model = GpuModel::new("SimGPU", hbm);
+        (Arc::new(topo), vec![model])
+    }
+
+    #[test]
+    fn device_bandwidth_lands_near_model() {
+        let (topo, models) = gpu_node();
+        let mut cfg = SweepConfig::quick();
+        cfg.max_elems = 16 * 1024 * 1024;
+        let rep = run_sim_gpu(topo, &models, 3, &cfg);
+        let want = 1555.2 * 0.877;
+        let got = rep.device.mean;
+        assert!(
+            (got - want).abs() / want < 0.1,
+            "got {got}, want about {want}"
+        );
+    }
+
+    #[test]
+    fn launch_overhead_depresses_small_sizes() {
+        let (topo, models) = gpu_node();
+        let rep = run_sim_gpu(topo, &models, 3, &SweepConfig::quick());
+        let first = rep.curve.first().expect("curve").1;
+        let last = rep.curve.last().expect("curve").1;
+        assert!(last > first * 1.5, "{first} vs {last}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (topo, models) = gpu_node();
+        let a = run_sim_gpu(Arc::clone(&topo), &models, 5, &SweepConfig::quick());
+        let b = run_sim_gpu(topo, &models, 5, &SweepConfig::quick());
+        assert_eq!(a.device.mean, b.device.mean);
+        assert_eq!(a.device.std, b.device.std);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an accelerator")]
+    fn cpu_only_node_rejected() {
+        let topo = NodeBuilder::new("cpu-only")
+            .socket("CPU")
+            .numa(SocketId(0))
+            .cores(NumaId(0), 4, 1)
+            .build()
+            .expect("valid");
+        run_sim_gpu(Arc::new(topo), &[], 1, &SweepConfig::quick());
+    }
+}

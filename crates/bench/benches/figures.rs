@@ -1,0 +1,48 @@
+//! Regenerates Figures 1-3 (node diagrams) and benchmarks rendering and
+//! the topology queries behind them.
+//!
+//! `cargo bench -p doe-bench --bench figures`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doebench::figures;
+use doebench::topo::Vertex;
+
+fn bench_figures(c: &mut Criterion) {
+    for f in 1..=3u8 {
+        println!("\n{}", figures::render_ascii(f).expect("figure renders"));
+    }
+
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(20);
+    for f in 1..=3u8 {
+        g.bench_function(format!("ascii_{f}"), |b| {
+            b.iter(|| std::hint::black_box(figures::render_ascii(f)))
+        });
+        g.bench_function(format!("dot_{f}"), |b| {
+            b.iter(|| std::hint::black_box(figures::render_dot(f)))
+        });
+    }
+    // The topology machinery the figures (and every benchmark) rely on.
+    let frontier = doebench::machines::by_name("Frontier").expect("machine");
+    g.bench_function("classify_all_pairs", |b| {
+        b.iter(|| {
+            for i in &frontier.topo.devices {
+                for j in &frontier.topo.devices {
+                    std::hint::black_box(frontier.topo.classify_pair(i.id, j.id));
+                }
+            }
+        })
+    });
+    g.bench_function("route_worst_pair", |b| {
+        b.iter(|| {
+            std::hint::black_box(frontier.topo.route(
+                Vertex::Device(frontier.topo.devices[0].id),
+                Vertex::Device(frontier.topo.devices[7].id),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

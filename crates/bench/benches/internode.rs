@@ -1,0 +1,55 @@
+//! Inter-node study (the paper's future work 1): point-to-point
+//! latency/bandwidth over the fabric model, the contention series, and the
+//! allreduce algorithm crossover — printed and benchmarked.
+//!
+//! `cargo bench -p doe-bench --bench internode`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doebench::net::{Fabric, FabricConfig, NetWorld, NicConfig, NodeId};
+use doebench::studies;
+
+fn bench_internode(c: &mut Criterion) {
+    println!("\n{}", studies::internode_latency_table(1).to_ascii());
+    println!("Contention series (inter-group pair, 4 MiB messages):");
+    for (flows, bw) in studies::contention_series(2, 7) {
+        println!("  {flows} background flows: {bw:>6.2} GB/s");
+    }
+    println!("\n{}", studies::collectives_table().to_ascii());
+
+    let mut g = c.benchmark_group("internode");
+    g.sample_size(10);
+    g.bench_function("pingpong_100x", |b| {
+        b.iter(|| {
+            let mut w = NetWorld::new(
+                Fabric::new(FabricConfig::slingshot_like()),
+                NicConfig::default_hpc(),
+                1,
+            );
+            let a = w.add_rank(NodeId(0)).expect("node");
+            let bnk = w.add_rank(NodeId(16)).expect("node");
+            std::hint::black_box(w.pingpong_latency_us(a, bnk, 0, 100).expect("pingpong"))
+        })
+    });
+    g.bench_function("streaming_window", |b| {
+        b.iter(|| {
+            let mut w = NetWorld::new(
+                Fabric::new(FabricConfig::slingshot_like()),
+                NicConfig::default_hpc(),
+                1,
+            );
+            let a = w.add_rank(NodeId(0)).expect("node");
+            let bnk = w.add_rank(NodeId(16)).expect("node");
+            std::hint::black_box(
+                w.streaming_bandwidth(a, bnk, 1 << 20, 3)
+                    .expect("bandwidth"),
+            )
+        })
+    });
+    g.bench_function("collectives_table", |b| {
+        b.iter(|| std::hint::black_box(studies::collectives_table()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_internode);
+criterion_main!(benches);

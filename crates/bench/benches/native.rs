@@ -1,0 +1,99 @@
+//! Real measurements of this host via Criterion: the five BabelStream
+//! kernels on actual arrays and threads.
+//!
+//! `cargo bench -p doe-bench --bench native`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use doebench::babelstream::{run_native, NativeStreamConfig};
+use doebench::omp::NativeBackend;
+
+fn bench_native(c: &mut Criterion) {
+    // Headline report first.
+    let rep = run_native(&NativeStreamConfig {
+        elems: 2 * 1024 * 1024,
+        iters: 10,
+        nthreads: None,
+    });
+    println!(
+        "\nNative BabelStream on this host ({} threads):",
+        rep.nthreads
+    );
+    for (op, s) in &rep.per_op {
+        println!("  {op:<6} {:>8.2} GB/s (best {:.2})", s.mean, s.max);
+    }
+
+    // Criterion-timed triad at two sizes and two thread counts.
+    let mut g = c.benchmark_group("native_triad");
+    g.sample_size(20);
+    for &elems in &[256 * 1024usize, 2 * 1024 * 1024] {
+        let bytes = (elems * 8 * 3) as u64;
+        g.throughput(Throughput::Bytes(bytes));
+        for threads in [1usize, 2] {
+            let backend = NativeBackend::new(threads);
+            let b_arr = vec![0.2f64; elems];
+            let c_arr = vec![0.1f64; elems];
+            let mut a_arr = vec![0.0f64; elems];
+            g.bench_with_input(
+                BenchmarkId::new(format!("t{threads}"), elems),
+                &elems,
+                |bench, _| {
+                    bench.iter(|| {
+                        // triad: a = b + scalar * c
+                        let ap = a_arr.as_mut_ptr() as usize;
+                        backend.parallel_for(elems, |r| {
+                            let a = unsafe {
+                                std::slice::from_raw_parts_mut(
+                                    (ap as *mut f64).add(r.start),
+                                    r.len(),
+                                )
+                            };
+                            for ((ai, &bi), &ci) in
+                                a.iter_mut().zip(&b_arr[r.clone()]).zip(&c_arr[r])
+                            {
+                                *ai = bi + 0.4 * ci;
+                            }
+                        });
+                        std::hint::black_box(a_arr[0]);
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("native_dot");
+    g.sample_size(20);
+    for &elems in &[256 * 1024usize] {
+        g.throughput(Throughput::Bytes((elems * 8 * 2) as u64));
+        let a = vec![0.1f64; elems];
+        let b_arr = vec![0.2f64; elems];
+        for threads in [1usize, 2] {
+            let backend = NativeBackend::new(threads);
+            g.bench_with_input(
+                BenchmarkId::new(format!("t{threads}"), elems),
+                &elems,
+                |bench, _| {
+                    bench.iter(|| {
+                        let sum = backend.parallel_reduce(
+                            elems,
+                            0.0,
+                            |r| {
+                                a[r.clone()]
+                                    .iter()
+                                    .zip(&b_arr[r])
+                                    .map(|(&x, &y)| x * y)
+                                    .sum::<f64>()
+                            },
+                            |acc, p| acc + p,
+                        );
+                        std::hint::black_box(sum)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_native);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Performance of the simulator's own primitives — the costs that bound
+//! how fast a 100-repetition campaign runs. Regressions here make
+//! `--full` campaigns slow, so they are tracked like any other benchmark.
+//!
+//! `cargo bench -p doe-bench --bench substrate`
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use doebench::gpurt::GpuRuntime;
+use doebench::mpi::MpiSim;
+use doebench::simtime::{EventQueue, SimRng, SimTime};
+use doebench::topo::Vertex;
+
+fn bench_substrate(c: &mut Criterion) {
+    // RNG throughput.
+    let mut g = c.benchmark_group("simtime");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("rng_1024_u64", |b| {
+        let mut rng = SimRng::from_seed(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1024 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.bench_function("gaussian_1024", |b| {
+        let mut rng = SimRng::from_seed(1);
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for _ in 0..1024 {
+                acc += rng.gaussian();
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.bench_function("event_queue_1024_schedule_pop", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1024u64 {
+                q.schedule(SimTime::from_ps(i.wrapping_mul(2654435761) % 1_000_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some(e) = q.pop() {
+                acc = acc.wrapping_add(e.payload);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.finish();
+
+    // Topology routing on the densest machine.
+    let frontier = doebench::machines::by_name("Frontier").expect("machine");
+    let mut g = c.benchmark_group("topo");
+    g.sample_size(20);
+    g.bench_function("route_all_device_pairs_frontier", |b| {
+        b.iter(|| {
+            for i in &frontier.topo.devices {
+                for j in &frontier.topo.devices {
+                    std::hint::black_box(
+                        frontier
+                            .topo
+                            .route(Vertex::Device(i.id), Vertex::Device(j.id)),
+                    );
+                }
+            }
+        })
+    });
+    g.finish();
+
+    // One simulated GPU op and one ping-pong iteration: the inner-loop
+    // costs of Tables 5/6.
+    let mut g = c.benchmark_group("runtimes");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("gpu_launch_1000", |b| {
+        b.iter(|| {
+            let mut rt = GpuRuntime::new(frontier.topo.clone(), frontier.gpu_models.clone(), 1);
+            let s = rt.default_stream(rt.current_device()).expect("stream");
+            for _ in 0..1000 {
+                rt.launch_empty(&s).expect("launch");
+            }
+            rt.device_synchronize().expect("sync");
+            std::hint::black_box(rt.now())
+        })
+    });
+    g.bench_function("mpi_pingpong_1000", |b| {
+        let eagle = doebench::machines::by_name("Eagle").expect("machine");
+        b.iter(|| {
+            let mut w = MpiSim::new(eagle.topo.clone(), eagle.mpi.clone(), 1);
+            let a = w.add_host_rank(eagle.topo.cores[0].id).expect("core");
+            let bq = w.add_host_rank(eagle.topo.cores[1].id).expect("core");
+            for _ in 0..1000 {
+                w.send(a, bq, 0).expect("send");
+                w.recv(bq, a, 0).expect("recv");
+            }
+            std::hint::black_box(w.time(a).expect("rank"))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

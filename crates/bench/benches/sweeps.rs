@@ -1,0 +1,85 @@
+//! The Appendix B.2 size sweeps: BabelStream 16 Ki -> max doubles and the
+//! OSU message-size latency curve, printed and benchmarked.
+//!
+//! `cargo bench -p doe-bench --bench sweeps`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doebench::babelstream::{run_sim_cpu, run_sim_gpu, SweepConfig};
+use doebench::osu::{on_socket_pair, osu_latency, OsuConfig};
+
+fn bench_sweeps(c: &mut Criterion) {
+    // --- BabelStream size curve on a CPU machine -----------------------
+    let manzano = doebench::machines::by_name("Manzano").expect("machine");
+    let mut cpu_cfg = SweepConfig::quick();
+    cpu_cfg.max_elems = 16 * 1024 * 1024;
+    let rep = run_sim_cpu(
+        &manzano.topo,
+        &manzano.host_mem,
+        manzano.host_stream_jitter,
+        1,
+        &cpu_cfg,
+    );
+    println!("\nBabelStream size sweep on Manzano (best all-thread GB/s):");
+    for (n, bw) in &rep.curve {
+        println!("  {:>10} doubles  {:>8.2}", n, bw);
+    }
+
+    // --- BabelStream size curve on a GPU machine -----------------------
+    let frontier = doebench::machines::by_name("Frontier").expect("machine");
+    let gpu_rep = run_sim_gpu(
+        frontier.topo.clone(),
+        &frontier.gpu_models,
+        2,
+        &SweepConfig::quick(),
+    );
+    println!("\nBabelStream size sweep on Frontier GCD0 (best GB/s):");
+    for (n, bw) in &gpu_rep.curve {
+        println!("  {:>10} doubles  {:>8.2}", n, bw);
+    }
+
+    // --- OSU latency curve ----------------------------------------------
+    let mut osu_cfg = OsuConfig::paper();
+    osu_cfg.reps = 5;
+    osu_cfg.small_iters = 100;
+    osu_cfg.large_iters = 10;
+    let cores = on_socket_pair(&manzano.topo).expect("pair");
+    let curve = osu_latency(&manzano.topo, &manzano.mpi, cores, &osu_cfg, 3);
+    println!("\nOSU latency curve on Manzano (on-socket):");
+    for pt in curve.iter().step_by(3) {
+        println!("  {:>9} B  {:>9.3} us", pt.bytes, pt.one_way_us.mean);
+    }
+
+    // --- Benchmarks ------------------------------------------------------
+    let mut g = c.benchmark_group("sweeps");
+    g.sample_size(10);
+    g.bench_function("babelstream_cpu_sweep", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_sim_cpu(
+                &manzano.topo,
+                &manzano.host_mem,
+                manzano.host_stream_jitter,
+                1,
+                &SweepConfig::quick(),
+            ))
+        })
+    });
+    g.bench_function("babelstream_gpu_sweep", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_sim_gpu(
+                frontier.topo.clone(),
+                &frontier.gpu_models,
+                2,
+                &SweepConfig::quick(),
+            ))
+        })
+    });
+    g.bench_function("osu_curve", |b| {
+        let mut cfg = OsuConfig::quick();
+        cfg.reps = 3;
+        b.iter(|| std::hint::black_box(osu_latency(&manzano.topo, &manzano.mpi, cores, &cfg, 3)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweeps);
+criterion_main!(benches);

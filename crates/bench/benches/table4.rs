@@ -1,0 +1,29 @@
+//! Regenerates Table 4 (CPU machines) and benchmarks the regeneration.
+//!
+//! `cargo bench -p doe-bench --bench table4`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doebench::{table4, Campaign};
+
+fn bench_table4(c: &mut Criterion) {
+    let campaign = Campaign::quick();
+
+    // Print the regenerated table once, so `cargo bench` output contains
+    // the paper's rows.
+    let rows = table4::run(&campaign);
+    println!("\n{}", table4::render(&rows).to_ascii());
+    println!("{}", table4::render_comparison(&rows).to_ascii());
+
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    for name in ["Trinity", "Theta", "Sawtooth", "Eagle", "Manzano"] {
+        let m = doebench::machines::by_name(name).expect("machine");
+        g.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(table4::run_machine(&m, &campaign)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerates Table 5 (GPU machines: device bandwidth + MPI latencies)
+//! and benchmarks the regeneration.
+//!
+//! `cargo bench -p doe-bench --bench table5`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doebench::{table5, Campaign};
+
+fn bench_table5(c: &mut Criterion) {
+    let campaign = Campaign::quick();
+
+    let rows = table5::run(&campaign);
+    println!("\n{}", table5::render(&rows).to_ascii());
+    println!("{}", table5::render_comparison(&rows).to_ascii());
+
+    let mut g = c.benchmark_group("table5");
+    g.sample_size(10);
+    // One representative machine per accelerator generation.
+    for name in ["Frontier", "Summit", "Perlmutter"] {
+        let m = doebench::machines::by_name(name).expect("machine");
+        g.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(table5::run_machine(&m, &campaign)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table5);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Regenerates Table 6 (Comm|Scope) and benchmarks the regeneration.
+//!
+//! `cargo bench -p doe-bench --bench table6`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doebench::{table6, Campaign};
+
+fn bench_table6(c: &mut Criterion) {
+    let campaign = Campaign::quick();
+
+    let rows = table6::run(&campaign);
+    println!("\n{}", table6::render(&rows).to_ascii());
+    println!("{}", table6::render_comparison(&rows).to_ascii());
+
+    let mut g = c.benchmark_group("table6");
+    g.sample_size(10);
+    for name in ["Frontier", "Sierra", "Polaris"] {
+        let m = doebench::machines::by_name(name).expect("machine");
+        g.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(table6::run_machine(&m, &campaign)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table6);
+criterion_main!(benches);

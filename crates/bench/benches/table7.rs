@@ -1,0 +1,27 @@
+//! Regenerates Table 7 (min-max summary per accelerator generation).
+//!
+//! `cargo bench -p doe-bench --bench table7`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doebench::{table5, table6, table7, Campaign};
+
+fn bench_table7(c: &mut Criterion) {
+    let campaign = Campaign::quick();
+
+    let t5 = table5::run(&campaign);
+    let t6 = table6::run(&campaign);
+    let rows = table7::summarize(&t5, &t6);
+    println!("\n{}", table7::render(&rows).to_ascii());
+
+    // The summarization itself is cheap; benchmark it separately from the
+    // underlying campaigns so regressions in the aggregation show up.
+    let mut g = c.benchmark_group("table7");
+    g.sample_size(20);
+    g.bench_function("summarize", |b| {
+        b.iter(|| std::hint::black_box(table7::summarize(&t5, &t6)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table7);
+criterion_main!(benches);

@@ -1,0 +1,285 @@
+//! Sample collection and summary statistics.
+
+use std::fmt;
+
+use serde::Serialize;
+
+/// A collection of scalar observations (one per outer benchmark run).
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+}
+
+impl Samples {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Samples { values: Vec::new() }
+    }
+
+    /// Record one observation.
+    ///
+    /// # Panics
+    /// Panics on NaN — a NaN observation is always an upstream bug.
+    pub fn push(&mut self, v: f64) {
+        assert!(!v.is_nan(), "NaN observation");
+        self.values.push(v);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw observations.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Merge another collection into this one.
+    pub fn merge(&mut self, other: &Samples) {
+        self.values.extend_from_slice(&other.values);
+    }
+
+    /// A copy with the lowest and highest `frac` of observations removed
+    /// (symmetric trimming) — standard hygiene against warmup and OS-noise
+    /// outliers in native measurements. `frac` is clamped so at least one
+    /// observation survives.
+    pub fn trimmed(&self, frac: f64) -> Samples {
+        assert!(
+            (0.0..0.5).contains(&frac),
+            "trim fraction must be in [0, 0.5)"
+        );
+        if self.values.len() < 3 || frac == 0.0 {
+            return self.clone();
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let k = ((sorted.len() as f64 * frac) as usize).min((sorted.len() - 1) / 2);
+        Samples {
+            values: sorted[k..sorted.len() - k].to_vec(),
+        }
+    }
+
+    /// Summarize.
+    ///
+    /// # Panics
+    /// Panics if empty.
+    pub fn summary(&self) -> Summary {
+        assert!(!self.is_empty(), "summary of zero samples");
+        let n = self.values.len();
+        let mean = self.values.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            self.values
+                .iter()
+                .map(|v| (v - mean) * (v - mean))
+                .sum::<f64>()
+                / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+        };
+        let std = var.sqrt();
+        Summary {
+            n,
+            mean,
+            std,
+            min: sorted[0],
+            max: sorted[n - 1],
+            median,
+            ci95_half_width: 1.96 * std / (n as f64).sqrt(),
+        }
+    }
+}
+
+impl FromIterator<f64> for Samples {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Samples::new();
+        for v in iter {
+            s.push(v);
+        }
+        s
+    }
+}
+
+/// Summary statistics of a sample collection — the paper's reporting unit
+/// is [`Summary::mean`] ± [`Summary::std`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator).
+    pub std: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Median observation.
+    pub median: f64,
+    /// Half-width of the 95 % confidence interval on the mean.
+    pub ci95_half_width: f64,
+}
+
+impl Summary {
+    /// Format as the paper's tables do: `mean ± std` with two decimals.
+    pub fn pm(&self) -> String {
+        format!("{:.2} ± {:.2}", self.mean, self.std)
+    }
+
+    /// Relative standard deviation (coefficient of variation); zero mean
+    /// yields zero.
+    pub fn rel_std(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std / self.mean.abs()
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (n={})", self.pm(), self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn summary_of_known_values() {
+        let s: Samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
+        let sum = s.summary();
+        assert_eq!(sum.n, 8);
+        assert!((sum.mean - 5.0).abs() < 1e-12);
+        // Sample std of this classic set is sqrt(32/7).
+        assert!((sum.std - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(sum.min, 2.0);
+        assert_eq!(sum.max, 9.0);
+        assert!((sum.median - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_has_zero_std() {
+        let s: Samples = [3.25].into_iter().collect();
+        let sum = s.summary();
+        assert_eq!(sum.std, 0.0);
+        assert_eq!(sum.median, 3.25);
+        assert_eq!(sum.ci95_half_width, 0.0);
+    }
+
+    #[test]
+    fn odd_median() {
+        let s: Samples = [3.0, 1.0, 2.0].into_iter().collect();
+        assert_eq!(s.summary().median, 2.0);
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a: Samples = [1.0, 2.0].into_iter().collect();
+        let b: Samples = [3.0].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.summary().mean, 2.0);
+    }
+
+    #[test]
+    fn pm_formats_like_the_paper() {
+        let s: Samples = [12.91, 12.91].into_iter().collect();
+        assert_eq!(s.summary().pm(), "12.91 ± 0.00");
+    }
+
+    #[test]
+    fn trimming_drops_symmetric_outliers() {
+        let s: Samples = [1000.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 0.001]
+            .into_iter()
+            .collect();
+        let t = s.trimmed(0.1);
+        assert_eq!(t.len(), 8);
+        let sum = t.summary();
+        assert_eq!(sum.mean, 5.0);
+        assert_eq!(sum.std, 0.0);
+        // Untrimmed mean is wrecked by the outlier.
+        assert!(s.summary().mean > 50.0);
+    }
+
+    #[test]
+    fn trimming_keeps_tiny_collections_intact() {
+        let s: Samples = [1.0, 2.0].into_iter().collect();
+        assert_eq!(s.trimmed(0.25).len(), 2);
+        let one: Samples = [9.0].into_iter().collect();
+        assert_eq!(one.trimmed(0.4).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "trim fraction")]
+    fn oversized_trim_rejected() {
+        let s: Samples = [1.0, 2.0, 3.0].into_iter().collect();
+        let _ = s.trimmed(0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_summary_panics() {
+        Samples::new().summary();
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        Samples::new().push(f64::NAN);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mean_within_min_max(values in proptest::collection::vec(-1e9f64..1e9, 1..200)) {
+            let s: Samples = values.iter().copied().collect();
+            let sum = s.summary();
+            prop_assert!(sum.min <= sum.mean + 1e-6);
+            prop_assert!(sum.mean <= sum.max + 1e-6);
+            prop_assert!(sum.min <= sum.median && sum.median <= sum.max);
+            prop_assert!(sum.std >= 0.0);
+        }
+
+        #[test]
+        fn prop_constant_samples_have_zero_std(v in -1e6f64..1e6, n in 1usize..100) {
+            let s: Samples = std::iter::repeat_n(v, n).collect();
+            let sum = s.summary();
+            // Relative tolerance: the mean of n identical floats can differ
+            // from v by a few ulps, giving a tiny but nonzero variance.
+            prop_assert!(sum.std.abs() <= 1e-9 * v.abs().max(1.0));
+            prop_assert_eq!(sum.min, v);
+            prop_assert_eq!(sum.max, v);
+        }
+
+        #[test]
+        fn prop_merge_matches_concat(
+            a in proptest::collection::vec(-1e6f64..1e6, 1..50),
+            b in proptest::collection::vec(-1e6f64..1e6, 1..50),
+        ) {
+            let mut m: Samples = a.iter().copied().collect();
+            let sb: Samples = b.iter().copied().collect();
+            m.merge(&sb);
+            let direct: Samples = a.iter().chain(b.iter()).copied().collect();
+            let (s1, s2) = (m.summary(), direct.summary());
+            prop_assert!((s1.mean - s2.mean).abs() < 1e-9);
+            prop_assert!((s1.std - s2.std).abs() < 1e-9);
+        }
+    }
+}

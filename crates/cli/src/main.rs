@@ -1,0 +1,430 @@
+//! `doebench` — command-line driver for the DOE Top500 microbenchmark
+//! suite.
+//!
+//! ```text
+//! doebench table4 [--full] [--md|--csv]     regenerate Table 4
+//! doebench table5 [--full] [--md|--csv]     regenerate Table 5
+//! doebench table6 [--full] [--md|--csv]     regenerate Table 6
+//! doebench table7 [--full]                  regenerate Table 7
+//! doebench compare [--full]                 all tables, paper vs measured
+//! doebench table1                           the OMP_* sweep combinations
+//! doebench machines [--cpu|--gpu]           Tables 2/3 (system inventory)
+//! doebench env [--cpu|--gpu]                Tables 8/9 (software versions)
+//! doebench figure <1|2|3> [--dot]           node diagrams (Figures 1-3)
+//! doebench native [elems]                   BabelStream on this host
+//! ```
+
+use doebench::omp::EnvCombo;
+use doebench::report::Table;
+use doebench::{experiments, figures, table4, table5, table6, table7, Campaign};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let full = args.iter().any(|a| a == "--full");
+    let campaign = if full {
+        Campaign::paper()
+    } else {
+        Campaign::quick()
+    };
+    let render = |t: Table| -> String {
+        if args.iter().any(|a| a == "--md") {
+            t.to_markdown()
+        } else if args.iter().any(|a| a == "--csv") {
+            t.to_csv()
+        } else {
+            t.to_ascii()
+        }
+    };
+
+    match cmd {
+        "table1" => {
+            let mut t = Table::new(
+                "Table 1: OpenMP environment combinations",
+                &["OMP_NUM_THREADS", "OMP_PROC_BIND", "OMP_PLACES"],
+            );
+            for c in EnvCombo::table1() {
+                let s = c.to_string();
+                let cells: Vec<String> = s
+                    .split_whitespace()
+                    .map(|kv| kv.split('=').nth(1).unwrap_or("-").to_string())
+                    .collect();
+                t.push_row(cells);
+            }
+            print!("{}", render(t));
+        }
+        "table4" => {
+            let rows = table4::run(&campaign);
+            print!("{}", render(table4::render(&rows)));
+        }
+        "table5" => {
+            let rows = table5::run(&campaign);
+            print!("{}", render(table5::render(&rows)));
+        }
+        "table6" => {
+            let rows = table6::run(&campaign);
+            print!("{}", render(table6::render(&rows)));
+        }
+        "table7" => {
+            let rows = table7::run(&campaign);
+            print!("{}", render(table7::render(&rows)));
+        }
+        "check" => {
+            // Self-verification: regenerate and test the headline claims.
+            let claims = doebench::verify::run_checks(&campaign);
+            let mut failures = 0;
+            for c in &claims {
+                let status = if c.pass { "PASS" } else { "FAIL" };
+                if !c.pass {
+                    failures += 1;
+                }
+                println!("[{status}] {}", c.name);
+                println!("       {}", c.detail);
+            }
+            println!(
+                "\n{}/{} headline claims reproduced",
+                claims.len() - failures,
+                claims.len()
+            );
+            if failures > 0 {
+                std::process::exit(1);
+            }
+        }
+        "compare" | "experiments" => {
+            let results = experiments::run_all(&campaign);
+            match args
+                .iter()
+                .position(|a| a == "--outdir")
+                .and_then(|i| args.get(i + 1))
+            {
+                Some(dir) => {
+                    let written =
+                        doebench::bundle::write_bundle(&results, std::path::Path::new(dir))
+                            .unwrap_or_else(|e| die(&format!("write bundle to {dir}: {e}")));
+                    eprintln!("{} artifacts written to {dir}", written.len());
+                }
+                None => print!("{}", experiments::render_markdown(&results)),
+            }
+        }
+        "machines" => {
+            let cpu_only = args.iter().any(|a| a == "--cpu");
+            let gpu_only = args.iter().any(|a| a == "--gpu");
+            let mut t = Table::new(
+                "Tables 2-3: US DOE systems above rank 150, June 2023 Top500",
+                &[
+                    "Rank/Name",
+                    "Location",
+                    "CPU",
+                    "Accelerator",
+                    "Devices",
+                    "Cores",
+                ],
+            );
+            for m in doebench::machines::all_machines() {
+                if (cpu_only && m.is_accelerated()) || (gpu_only && !m.is_accelerated()) {
+                    continue;
+                }
+                t.push_row(vec![
+                    m.table_label(),
+                    m.location.to_string(),
+                    m.cpu_model.to_string(),
+                    m.accelerator_model.unwrap_or("-").to_string(),
+                    m.topo.device_count().to_string(),
+                    m.topo.core_count().to_string(),
+                ]);
+            }
+            print!("{}", render(t));
+        }
+        "env" => {
+            let cpu_only = args.iter().any(|a| a == "--cpu");
+            let gpu_only = args.iter().any(|a| a == "--gpu");
+            let mut t = Table::new(
+                "Tables 8-9: software environments",
+                &["Rank/Name", "Compiler", "Device Library", "MPI"],
+            );
+            for m in doebench::machines::all_machines() {
+                if (cpu_only && m.is_accelerated()) || (gpu_only && !m.is_accelerated()) {
+                    continue;
+                }
+                t.push_row(vec![
+                    m.table_label(),
+                    m.software.compiler.to_string(),
+                    m.software.device_library.unwrap_or("-").to_string(),
+                    m.software.mpi.to_string(),
+                ]);
+            }
+            print!("{}", render(t));
+        }
+        "explain" => {
+            // The model algebra behind one machine's table rows.
+            let machine = args.get(1).map(String::as_str).unwrap_or("Frontier");
+            match doebench::explain::machine_report(machine) {
+                Some(r) => print!("{r}"),
+                None => die(&format!("unknown machine: {machine}")),
+            }
+        }
+        "figure" => {
+            let n: u8 = args
+                .get(1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| die("usage: doebench figure <1|2|3> [--dot]"));
+            let out = if args.iter().any(|a| a == "--dot") {
+                figures::render_dot(n)
+            } else {
+                figures::render_ascii(n)
+            };
+            match out {
+                Some(s) => print!("{s}"),
+                None => die("figure must be 1, 2, or 3"),
+            }
+        }
+        "native" => {
+            let elems: usize = args
+                .get(1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(4 * 1024 * 1024);
+            let rep =
+                doebench::babelstream::run_native(&doebench::babelstream::NativeStreamConfig {
+                    elems,
+                    iters: 20,
+                    nthreads: None,
+                });
+            let mut t = Table::new(
+                format!(
+                    "BabelStream (native, {} threads, {} doubles, verified: {})",
+                    rep.nthreads, elems, rep.verified
+                ),
+                &["Kernel", "Mean GB/s", "Best GB/s"],
+            );
+            for (op, s) in &rep.per_op {
+                t.push_row(vec![
+                    op.to_string(),
+                    format!("{:.2}", s.mean),
+                    format!("{:.2}", s.max),
+                ]);
+            }
+            print!("{}", render(t));
+        }
+        "sweep" => {
+            // OSU message-size latency curve on one machine, as a table or
+            // a standalone SVG chart.
+            let machine = args.get(1).map(String::as_str).unwrap_or("Eagle");
+            let m = doebench::machines::by_name(machine)
+                .unwrap_or_else(|| die(&format!("unknown machine: {machine}")));
+            let mut cfg = doebench::osu::OsuConfig::paper();
+            cfg.reps = if full { 100 } else { 10 };
+            cfg.small_iters = if full { 1000 } else { 100 };
+            cfg.large_iters = if full { 100 } else { 10 };
+            let socket =
+                doebench::osu::on_socket_pair(&m.topo).unwrap_or_else(|| die("machine too small"));
+            let node =
+                doebench::osu::on_node_pair(&m.topo).unwrap_or_else(|| die("machine too small"));
+            let lat_s = doebench::osu::osu_latency(&m.topo, &m.mpi, socket, &cfg, 1);
+            let lat_n = doebench::osu::osu_latency(&m.topo, &m.mpi, node, &cfg, 2);
+            if let Some(path) = args
+                .iter()
+                .position(|a| a == "--svg")
+                .and_then(|i| args.get(i + 1))
+            {
+                let mut chart = doebench::report::LineChart::new(
+                    format!("OSU point-to-point latency on {}", m.name),
+                    "message size (bytes)",
+                    "one-way latency (us)",
+                );
+                chart.log_x = true;
+                chart.log_y = true;
+                let series = |pts: &[doebench::osu::LatencyPoint]| -> Vec<(f64, f64)> {
+                    pts.iter()
+                        .map(|p| (p.bytes.max(1) as f64, p.one_way_us.mean))
+                        .collect()
+                };
+                chart.push_series("on-socket", series(&lat_s));
+                chart.push_series("on-node", series(&lat_n));
+                std::fs::write(path, chart.to_svg())
+                    .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+                eprintln!("chart written to {path}");
+            } else {
+                let mut t = Table::new(
+                    format!("OSU latency sweep on {}", m.name),
+                    &["Bytes", "On-Socket (us)", "On-Node (us)"],
+                );
+                for (s, n) in lat_s.iter().zip(&lat_n) {
+                    t.push_row(vec![
+                        s.bytes.to_string(),
+                        format!("{:.3}", s.one_way_us.mean),
+                        format!("{:.3}", n.one_way_us.mean),
+                    ]);
+                }
+                print!("{}", render(t));
+            }
+        }
+        "trace" => {
+            // Record a short simulated Comm|Scope-style sequence on a
+            // machine and emit a chrome://tracing / Perfetto JSON timeline.
+            let machine = args.get(1).map(String::as_str).unwrap_or("Frontier");
+            let m = doebench::machines::by_name(machine)
+                .unwrap_or_else(|| die(&format!("unknown machine: {machine}")));
+            if !m.is_accelerated() {
+                die("trace requires an accelerator machine");
+            }
+            let mut rt = doebench::gpurt::GpuRuntime::new(
+                m.topo.clone(),
+                m.gpu_models.clone(),
+                campaign.seed,
+            );
+            rt.enable_tracing();
+            let dev = rt.current_device();
+            let s = rt.default_stream(dev).expect("stream");
+            let numa = m.topo.device(dev).expect("device").local_numa;
+            let host = doebench::gpurt::Buffer::pinned_host(numa, 1 << 30);
+            let devb = doebench::gpurt::Buffer::device(dev, 1 << 30);
+            for _ in 0..8 {
+                rt.launch_empty(&s).expect("launch");
+            }
+            rt.device_synchronize().expect("sync");
+            for bytes in [128u64, 1 << 20, 1 << 26] {
+                rt.memcpy_async(&devb, &host, bytes, &s).expect("h2d");
+                rt.memcpy_async(&host, &devb, bytes, &s).expect("d2h");
+            }
+            rt.stream_synchronize(&s).expect("sync");
+            let trace = rt.take_trace().expect("tracing enabled");
+            let json = trace.to_chrome_json();
+            match args
+                .iter()
+                .position(|a| a == "--out")
+                .and_then(|i| args.get(i + 1))
+            {
+                Some(path) => {
+                    std::fs::write(path, &json)
+                        .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+                    eprintln!("{} spans written to {path}", trace.len());
+                }
+                None => println!("{json}"),
+            }
+        }
+        "table4-native" => {
+            // The paper's Table 4 protocol on *this* machine.
+            let cfg = if full {
+                doebench::babelstream::NativeTable4Config::paper()
+            } else {
+                doebench::babelstream::NativeTable4Config {
+                    elems: 8 * 1024 * 1024,
+                    iters: 10,
+                    reps: 5,
+                }
+            };
+            let rep = doebench::babelstream::run_native_table4(&cfg);
+            let mut t = Table::new(
+                format!(
+                    "This host's Table 4 row ({} cores x {} SMT detected)",
+                    rep.topology.physical_cores,
+                    rep.topology.smt()
+                ),
+                &["Single (GB/s)", "All (GB/s)", "Best kernel", "Best threads"],
+            );
+            t.push_row(vec![
+                doebench::report::pm_summary(&rep.single),
+                doebench::report::pm_summary(&rep.all),
+                rep.best_op.to_string(),
+                rep.best_threads.to_string(),
+            ]);
+            print!("{}", render(t));
+        }
+        "latency" => {
+            // Native pointer-chase: memory latency of this host.
+            let pts = doebench::babelstream::run_pointer_chase(
+                &doebench::babelstream::ChaseConfig::sweep(),
+            );
+            let mut t = Table::new(
+                "Memory latency on this host (dependent pointer chase)",
+                &["Working set", "ns/load"],
+            );
+            for p in pts {
+                t.push_row(vec![
+                    format!("{} KiB", p.bytes / 1024),
+                    format!("{:.2}", p.ns_per_load),
+                ]);
+            }
+            print!("{}", render(t));
+        }
+        "extensions" => {
+            // Future work 3: the Intel/AMD/Arm comparison.
+            print!("{}", render(doebench::studies::cpu_vendor_table(&campaign)));
+        }
+        "variants" => {
+            // Future work 4: MPI implementation comparison.
+            let machine = args.get(1).map(String::as_str).unwrap_or("Summit");
+            match doebench::studies::mpi_variant_table(machine, &campaign) {
+                Some(t) => print!("{}", render(t)),
+                None => die(&format!("unknown machine: {machine}")),
+            }
+        }
+        "collectives" => {
+            // Executed intra-node collectives on one machine.
+            let machine = args.get(1).map(String::as_str).unwrap_or("Frontier");
+            match doebench::studies::intranode_collectives_table(machine, &campaign) {
+                Some(t) => print!("{}", render(t)),
+                None => die(&format!("unknown or too-small machine: {machine}")),
+            }
+        }
+        "internode" => {
+            // Future work 1: inter-node latency/bandwidth, contention,
+            // and collectives.
+            print!("{}", render(doebench::studies::internode_latency_table(1)));
+            println!("\nContention (\"there goes the neighborhood\"):");
+            for (flows, bw) in doebench::studies::contention_series(2, 7) {
+                println!("  {flows} background flows: {bw:>6.2} GB/s");
+            }
+            println!();
+            print!("{}", render(doebench::studies::collectives_table()));
+            println!("\nPlacement study (8-rank ring allreduce, 1 MiB):");
+            println!(
+                "{:<24} {:>12} {:>12}",
+                "placement", "quiet (us)", "noisy (us)"
+            );
+            for (name, quiet, noisy) in doebench::studies::placement_study(3, 8, 1 << 20) {
+                println!("{name:<24} {quiet:>12.1} {noisy:>12.1}");
+            }
+        }
+        "help" | "--help" | "-h" => print_help(),
+        other => {
+            eprintln!("unknown command: {other}\n");
+            print_help();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2)
+}
+
+fn print_help() {
+    println!(
+        "doebench - latency & bandwidth microbenchmarks of US DOE Top500 systems\n\n\
+         usage:\n\
+         \x20 doebench table1                      OMP_* sweep combinations\n\
+         \x20 doebench table4 [--full]             CPU machines: mem BW + MPI latency\n\
+         \x20 doebench table5 [--full]             GPU machines: device BW + MPI latency\n\
+         \x20 doebench table6 [--full]             GPU machines: Comm|Scope\n\
+         \x20 doebench table7 [--full]             min-max summary per accelerator\n\
+         \x20 doebench compare [--full]            all tables, paper vs measured (markdown)\n\
+         \x20 doebench check                       self-verify the headline claims\n\
+         \x20 doebench machines [--cpu|--gpu]      system inventory (Tables 2-3)\n\
+         \x20 doebench env [--cpu|--gpu]           software environments (Tables 8-9)\n\
+         \x20 doebench figure <1|2|3> [--dot]      node diagrams (Figures 1-3)\n\
+         \x20 doebench explain [machine]           the model algebra behind a row\n\
+         \x20 doebench sweep [machine] [--svg f]   OSU latency curve (table or SVG)\n\
+         \x20 doebench trace [machine] [--out f]   chrome://tracing timeline of a run\n\
+         \x20 doebench native [elems]              BabelStream on this host\n\
+         \x20 doebench table4-native [--full]      this host's Table 4 row\n\
+         \x20 doebench latency                     pointer-chase latency on this host\n\
+         \x20 doebench internode                   inter-node study (future work 1)\n\
+         \x20 doebench collectives [machine]       executed intra-node collectives\n\
+         \x20 doebench extensions                  AMD/Arm/HBM CPUs (future work 3)\n\
+         \x20 doebench variants [machine]          MPI implementations (future work 4)\n\n\
+         options: --full  run the paper's 100-repetition protocol\n\
+         \x20        --md | --csv  alternative table renderings"
+    );
+}

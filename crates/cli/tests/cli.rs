@@ -1,0 +1,108 @@
+//! End-to-end tests of the `doebench` binary: real process spawns, real
+//! argument parsing, real output.
+
+use std::process::Command;
+
+fn doebench(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_doebench"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn help_lists_every_command() {
+    let (stdout, _, ok) = doebench(&["help"]);
+    assert!(ok);
+    for cmd in [
+        "table1",
+        "table4",
+        "table5",
+        "table6",
+        "table7",
+        "compare",
+        "check",
+        "machines",
+        "env",
+        "figure",
+        "sweep",
+        "trace",
+        "native",
+        "internode",
+        "collectives",
+        "extensions",
+        "variants",
+        "explain",
+    ] {
+        assert!(stdout.contains(&format!("doebench {cmd}")), "missing {cmd}");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let (_, stderr, ok) = doebench(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn table1_prints_the_eight_combos() {
+    let (stdout, _, ok) = doebench(&["table1"]);
+    assert!(ok);
+    assert_eq!(stdout.matches("#cores").count(), 3);
+    assert_eq!(stdout.matches("#threads").count(), 3);
+}
+
+#[test]
+fn machines_filters_by_category() {
+    let (cpu, _, ok) = doebench(&["machines", "--cpu"]);
+    assert!(ok);
+    assert!(cpu.contains("29. Trinity") && !cpu.contains("1. Frontier"));
+    let (gpu, _, ok) = doebench(&["machines", "--gpu"]);
+    assert!(ok);
+    assert!(gpu.contains("1. Frontier") && !gpu.contains("141. Manzano"));
+}
+
+#[test]
+fn figure_validates_its_argument() {
+    let (stdout, _, ok) = doebench(&["figure", "2"]);
+    assert!(ok);
+    assert!(stdout.contains("Summit"));
+    let (_, _, ok) = doebench(&["figure", "9"]);
+    assert!(!ok);
+    let (dot, _, ok) = doebench(&["figure", "1", "--dot"]);
+    assert!(ok);
+    assert!(dot.starts_with("graph"));
+}
+
+#[test]
+fn env_matches_tables_8_and_9() {
+    let (stdout, _, ok) = doebench(&["env"]);
+    assert!(ok);
+    assert!(stdout.contains("cray-mpich/8.1.23")); // Frontier
+    assert!(stdout.contains("openmpi/1.10")); // Manzano
+    assert!(stdout.contains("cuda/11.7")); // Perlmutter
+}
+
+#[test]
+fn explain_renders_and_rejects() {
+    let (stdout, _, ok) = doebench(&["explain", "Polaris"]);
+    assert!(ok);
+    assert!(stdout.contains("launch"));
+    assert!(stdout.contains("(paper:"));
+    let (_, _, ok) = doebench(&["explain", "nonesuch"]);
+    assert!(!ok);
+}
+
+#[test]
+fn csv_rendering_flag_applies() {
+    let (stdout, _, ok) = doebench(&["machines", "--csv"]);
+    assert!(ok);
+    assert!(stdout.starts_with("Rank/Name,"));
+    assert!(stdout.lines().count() >= 14);
+}

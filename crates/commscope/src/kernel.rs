@@ -1,0 +1,119 @@
+//! Kernel launch latency and empty-queue wait latency.
+
+use std::sync::Arc;
+
+use doe_benchlib::{adaptive_iterations, run_reps, Summary};
+use doe_gpurt::GpuRuntime;
+use doe_gpusim::GpuModel;
+use doe_topo::{DeviceId, NodeTopology};
+
+use crate::config::CommScopeConfig;
+
+fn rep_seed(seed: u64, rep: usize) -> u64 {
+    seed ^ (rep as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// `Comm_cudart_kernel`: wall time to *launch* (not complete) empty,
+/// zero-argument kernels. Returns µs, mean ± σ over the outer runs.
+pub fn launch_latency(
+    topo: &Arc<NodeTopology>,
+    models: &[GpuModel],
+    dev: DeviceId,
+    cfg: &CommScopeConfig,
+    seed: u64,
+) -> Summary {
+    run_reps(cfg.reps, |rep| {
+        let mut rt = GpuRuntime::new(Arc::clone(topo), models.to_vec(), rep_seed(seed, rep));
+        rt.set_device(dev).expect("device exists");
+        let stream = rt.default_stream(dev).expect("stream");
+        let (_iters, per) = adaptive_iterations(cfg.adaptive, |n| {
+            // Drain the queue before each batch so queue pressure from a
+            // previous (shorter) probe batch never bleeds into this one.
+            rt.device_synchronize().expect("sync");
+            let t0 = rt.now();
+            for _ in 0..n {
+                rt.launch_empty(&stream).expect("launch");
+            }
+            rt.now().since(t0)
+        });
+        rt.device_synchronize().expect("final sync");
+        per.as_us()
+    })
+    .summary()
+}
+
+/// `Comm_cudaDeviceSynchronize`: wall time of a device synchronize against
+/// an empty work queue. Returns µs, mean ± σ over the outer runs.
+pub fn wait_latency(
+    topo: &Arc<NodeTopology>,
+    models: &[GpuModel],
+    dev: DeviceId,
+    cfg: &CommScopeConfig,
+    seed: u64,
+) -> Summary {
+    run_reps(cfg.reps, |rep| {
+        let mut rt = GpuRuntime::new(Arc::clone(topo), models.to_vec(), rep_seed(seed, rep));
+        rt.set_device(dev).expect("device exists");
+        let (_iters, per) = adaptive_iterations(cfg.adaptive, |n| {
+            let t0 = rt.now();
+            for _ in 0..n {
+                rt.device_synchronize().expect("sync");
+            }
+            rt.now().since(t0)
+        });
+        per.as_us()
+    })
+    .summary()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doe_memmodel::MemDomainModel;
+    use doe_simtime::SimDuration;
+    use doe_topo::{LinkKind, NodeBuilder, NumaId, SocketId, Vertex};
+
+    fn node() -> (Arc<NodeTopology>, Vec<GpuModel>) {
+        let topo = NodeBuilder::new("cs-test")
+            .socket("CPU")
+            .numa(SocketId(0))
+            .cores(NumaId(0), 8, 2)
+            .device("G", NumaId(0))
+            .link(
+                Vertex::Numa(NumaId(0)),
+                Vertex::Device(DeviceId(0)),
+                LinkKind::Pcie { gen: 4, lanes: 16 },
+                SimDuration::from_ns(500.0),
+                25.0,
+            )
+            .build()
+            .expect("valid");
+        let mut m = GpuModel::new("G", MemDomainModel::new("HBM", 1555.2, 30.0));
+        m.launch_overhead = SimDuration::from_us(1.77);
+        m.sync_overhead = SimDuration::from_us(0.98);
+        (Arc::new(topo), vec![m])
+    }
+
+    #[test]
+    fn launch_latency_matches_configured_overhead() {
+        let (topo, models) = node();
+        let s = launch_latency(&topo, &models, DeviceId(0), &CommScopeConfig::quick(), 1);
+        assert!((s.mean - 1.77).abs() < 0.05, "mean={}", s.mean);
+        assert!(s.rel_std() < 0.05);
+    }
+
+    #[test]
+    fn wait_latency_matches_configured_overhead() {
+        let (topo, models) = node();
+        let s = wait_latency(&topo, &models, DeviceId(0), &CommScopeConfig::quick(), 1);
+        assert!((s.mean - 0.98).abs() < 0.05, "mean={}", s.mean);
+    }
+
+    #[test]
+    fn results_reproducible_per_seed() {
+        let (topo, models) = node();
+        let a = launch_latency(&topo, &models, DeviceId(0), &CommScopeConfig::quick(), 7);
+        let b = launch_latency(&topo, &models, DeviceId(0), &CommScopeConfig::quick(), 7);
+        assert_eq!(a.mean, b.mean);
+    }
+}

@@ -1,0 +1,109 @@
+//! Artifact-bundle writer: everything a released benchmark report ships.
+//!
+//! `doebench compare --outdir <dir>` regenerates the evaluation and writes
+//! a self-contained directory: each table as CSV + Markdown, the node
+//! diagrams as text and Graphviz, the paper-vs-measured report, and the
+//! provenance manifest.
+
+use std::io;
+use std::path::Path;
+
+use crate::experiments::Results;
+use crate::{figures, table4, table5, table6, table7};
+
+fn write(dir: &Path, name: &str, content: &str, written: &mut Vec<String>) -> io::Result<()> {
+    let path = dir.join(name);
+    std::fs::write(&path, content)?;
+    written.push(name.to_string());
+    Ok(())
+}
+
+/// Write the full artifact bundle into `dir` (created if missing).
+/// Returns the file names written, in order.
+pub fn write_bundle(results: &Results, dir: &Path) -> io::Result<Vec<String>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+
+    let t4 = table4::render(&results.table4);
+    write(dir, "table4.csv", &t4.to_csv(), &mut written)?;
+    write(dir, "table4.md", &t4.to_markdown(), &mut written)?;
+    write(
+        dir,
+        "table4_compare.md",
+        &table4::render_comparison(&results.table4).to_markdown(),
+        &mut written,
+    )?;
+
+    let t5 = table5::render(&results.table5);
+    write(dir, "table5.csv", &t5.to_csv(), &mut written)?;
+    write(dir, "table5.md", &t5.to_markdown(), &mut written)?;
+    write(
+        dir,
+        "table5_compare.md",
+        &table5::render_comparison(&results.table5).to_markdown(),
+        &mut written,
+    )?;
+
+    let t6 = table6::render(&results.table6);
+    write(dir, "table6.csv", &t6.to_csv(), &mut written)?;
+    write(dir, "table6.md", &t6.to_markdown(), &mut written)?;
+    write(
+        dir,
+        "table6_compare.md",
+        &table6::render_comparison(&results.table6).to_markdown(),
+        &mut written,
+    )?;
+
+    let t7 = table7::render(&results.table7);
+    write(dir, "table7.csv", &t7.to_csv(), &mut written)?;
+    write(dir, "table7.md", &t7.to_markdown(), &mut written)?;
+
+    for f in 1..=3u8 {
+        if let Some(ascii) = figures::render_ascii(f) {
+            write(dir, &format!("figure{f}.txt"), &ascii, &mut written)?;
+        }
+        if let Some(dot) = figures::render_dot(f) {
+            write(dir, &format!("figure{f}.dot"), &dot, &mut written)?;
+        }
+    }
+
+    write(
+        dir,
+        "report.md",
+        &crate::experiments::render_markdown(results),
+        &mut written,
+    )?;
+    write(
+        dir,
+        "manifest.md",
+        &results.manifest.to_markdown(),
+        &mut written,
+    )?;
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{experiments, Campaign};
+
+    #[test]
+    fn bundle_writes_every_artifact() {
+        let results = experiments::run_all(&Campaign::quick());
+        let dir = std::env::temp_dir().join(format!("doebench-bundle-{}", std::process::id()));
+        let written = write_bundle(&results, &dir).expect("bundle writes");
+        // 11 table files + 6 figure files + report + manifest.
+        assert_eq!(written.len(), 19, "{written:?}");
+        for name in &written {
+            let p = dir.join(name);
+            let meta = std::fs::metadata(&p).expect("file exists");
+            assert!(meta.len() > 0, "{name} is empty");
+        }
+        // Spot-check contents.
+        let t5 = std::fs::read_to_string(dir.join("table5.csv")).expect("read");
+        assert!(t5.lines().count() == 9); // header + 8 machines
+        let fig = std::fs::read_to_string(dir.join("figure1.dot")).expect("read");
+        assert!(fig.starts_with("graph"));
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

@@ -1,0 +1,90 @@
+//! Campaign configuration: how much work each table regeneration does.
+
+use doe_babelstream::SweepConfig;
+use doe_commscope::CommScopeConfig;
+use doe_osu::OsuConfig;
+
+/// Top-level knob bundle for a full benchmarking campaign.
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    /// BabelStream sweep on CPU machines.
+    pub stream_cpu: SweepConfig,
+    /// BabelStream sweep on GPU machines.
+    pub stream_gpu: SweepConfig,
+    /// OSU point-to-point configuration (headline zero-byte points).
+    pub osu: OsuConfig,
+    /// Comm|Scope configuration.
+    pub commscope: CommScopeConfig,
+    /// Master seed; every (machine, benchmark, run) derives from it.
+    pub seed: u64,
+}
+
+impl Campaign {
+    /// The paper's protocol: 100 binary runs per benchmark, full sweeps.
+    pub fn paper() -> Self {
+        Campaign {
+            stream_cpu: SweepConfig::paper_cpu(),
+            stream_gpu: SweepConfig::paper_gpu(),
+            osu: OsuConfig::table_point(),
+            commscope: CommScopeConfig::paper(),
+            seed: 0xD0E_2023,
+        }
+    }
+
+    /// A reduced protocol for tests and smoke runs (same code paths,
+    /// fewer repetitions and smaller sweeps).
+    pub fn quick() -> Self {
+        let mut osu = OsuConfig::quick();
+        osu.sizes = vec![0];
+        Campaign {
+            stream_cpu: SweepConfig::quick(),
+            stream_gpu: SweepConfig::quick(),
+            osu,
+            commscope: CommScopeConfig::quick(),
+            seed: 0xD0E_2023,
+        }
+    }
+
+    /// Derive a benchmark-specific seed.
+    pub fn seed_for(&self, machine: &str, bench: &str) -> u64 {
+        let mut h: u64 = self.seed ^ 0xCBF2_9CE4_8422_2325;
+        for b in machine.bytes().chain(bench.bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_uses_100_reps_everywhere() {
+        let c = Campaign::paper();
+        assert_eq!(c.stream_cpu.reps, 100);
+        assert_eq!(c.stream_gpu.reps, 100);
+        assert_eq!(c.osu.reps, 100);
+        assert_eq!(c.commscope.reps, 100);
+    }
+
+    #[test]
+    fn quick_is_smaller_than_paper() {
+        let q = Campaign::quick();
+        let p = Campaign::paper();
+        assert!(q.stream_cpu.reps < p.stream_cpu.reps);
+        assert!(q.osu.sizes.len() <= p.osu.sizes.len());
+    }
+
+    #[test]
+    fn seeds_differ_by_machine_and_bench() {
+        let c = Campaign::paper();
+        assert_ne!(c.seed_for("Frontier", "osu"), c.seed_for("Summit", "osu"));
+        assert_ne!(
+            c.seed_for("Frontier", "osu"),
+            c.seed_for("Frontier", "stream")
+        );
+        assert_eq!(c.seed_for("Frontier", "osu"), c.seed_for("Frontier", "osu"));
+    }
+}

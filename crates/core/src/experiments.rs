@@ -1,0 +1,151 @@
+//! Full paper-vs-measured experiment report (the source of EXPERIMENTS.md).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use crate::campaign::Campaign;
+use crate::{table4, table5, table6, table7};
+
+/// Provenance of a campaign run: what executed, under which protocol, and
+/// how long each phase took — the reproducibility record a release would
+/// publish alongside its tables.
+#[derive(Clone, Debug)]
+pub struct Manifest {
+    /// The crate version that produced the results.
+    pub suite_version: &'static str,
+    /// Master seed.
+    pub seed: u64,
+    /// Outer repetitions per benchmark (the paper's "100 binary runs").
+    pub reps: (usize, usize, usize, usize),
+    /// Wall-clock seconds per table (4, 5, 6).
+    pub wall_secs: (f64, f64, f64),
+}
+
+impl Manifest {
+    /// Render as a Markdown provenance block.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## Provenance\n");
+        let _ = writeln!(out, "* suite version: `{}`", self.suite_version);
+        let _ = writeln!(out, "* master seed: `{:#x}`", self.seed);
+        let _ = writeln!(
+            out,
+            "* repetitions: stream-cpu {}, stream-gpu {}, osu {}, commscope {}",
+            self.reps.0, self.reps.1, self.reps.2, self.reps.3
+        );
+        let _ = writeln!(
+            out,
+            "* wall time: table4 {:.1}s, table5 {:.1}s, table6 {:.1}s",
+            self.wall_secs.0, self.wall_secs.1, self.wall_secs.2
+        );
+        out
+    }
+}
+
+/// All regenerated results for the paper's evaluation section.
+#[derive(Clone, Debug)]
+pub struct Results {
+    /// Table 4 rows (CPU machines).
+    pub table4: Vec<table4::Row>,
+    /// Table 5 rows (GPU machines).
+    pub table5: Vec<table5::Row>,
+    /// Table 6 rows (GPU machines).
+    pub table6: Vec<table6::Row>,
+    /// Table 7 summary rows.
+    pub table7: Vec<table7::Row>,
+    /// Provenance record.
+    pub manifest: Manifest,
+}
+
+/// Run every experiment in the paper's evaluation section.
+pub fn run_all(c: &Campaign) -> Results {
+    let t0 = Instant::now();
+    let table4 = table4::run(c);
+    let t1 = Instant::now();
+    let table5 = table5::run(c);
+    let t2 = Instant::now();
+    let table6 = table6::run(c);
+    let t3 = Instant::now();
+    let table7 = table7::summarize(&table5, &table6);
+    let manifest = Manifest {
+        suite_version: env!("CARGO_PKG_VERSION"),
+        seed: c.seed,
+        reps: (
+            c.stream_cpu.reps,
+            c.stream_gpu.reps,
+            c.osu.reps,
+            c.commscope.reps,
+        ),
+        wall_secs: (
+            (t1 - t0).as_secs_f64(),
+            (t2 - t1).as_secs_f64(),
+            (t3 - t2).as_secs_f64(),
+        ),
+    };
+    Results {
+        table4,
+        table5,
+        table6,
+        table7,
+        manifest,
+    }
+}
+
+/// Render the full Markdown report: each regenerated table followed by its
+/// paper-vs-measured comparison.
+pub fn render_markdown(r: &Results) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Regenerated evaluation (paper vs. measured)\n");
+    let _ = writeln!(out, "{}", table4::render(&r.table4).to_markdown());
+    let _ = writeln!(
+        out,
+        "{}",
+        table4::render_comparison(&r.table4).to_markdown()
+    );
+    let _ = writeln!(out, "{}", table5::render(&r.table5).to_markdown());
+    let _ = writeln!(
+        out,
+        "{}",
+        table5::render_comparison(&r.table5).to_markdown()
+    );
+    let _ = writeln!(out, "{}", table6::render(&r.table6).to_markdown());
+    let _ = writeln!(
+        out,
+        "{}",
+        table6::render_comparison(&r.table6).to_markdown()
+    );
+    let _ = writeln!(out, "{}", table7::render(&r.table7).to_markdown());
+    let _ = writeln!(out, "{}", r.manifest.to_markdown());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_quick_campaign_covers_every_table() {
+        let r = run_all(&Campaign::quick());
+        assert_eq!(r.table4.len(), 5);
+        assert_eq!(r.table5.len(), 8);
+        assert_eq!(r.table6.len(), 8);
+        assert_eq!(r.table7.len(), 3);
+        let md = render_markdown(&r);
+        for needle in [
+            "Table 4",
+            "Table 5",
+            "Table 6",
+            "Table 7",
+            "1. Frontier",
+            "141. Manzano",
+            "V100",
+            "MI250X",
+            "Provenance",
+            "master seed",
+        ] {
+            assert!(md.contains(needle), "missing {needle}");
+        }
+        assert_eq!(r.manifest.reps.2, Campaign::quick().osu.reps);
+        assert!(r.manifest.wall_secs.0 >= 0.0);
+    }
+}

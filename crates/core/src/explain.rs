@@ -1,0 +1,299 @@
+//! Per-machine cost decompositions: where every table number comes from.
+//!
+//! A reference tool should not just print numbers — it should show its
+//! work. `doebench explain <machine>` renders the model algebra for one
+//! machine next to the paper's published values, straight from the same
+//! parameters the simulator executes.
+
+use std::fmt::Write as _;
+
+use doe_machines::{paper, Machine};
+use doe_memmodel::PlacementQuality;
+use doe_mpi::DevicePath;
+use doe_topo::{LinkClass, Vertex};
+
+fn line(out: &mut String, s: impl AsRef<str>) {
+    let _ = writeln!(out, "{}", s.as_ref());
+}
+
+fn explain_cpu(m: &Machine) -> String {
+    let mut out = String::new();
+    let p = paper::table4_row(m.name);
+    line(
+        &mut out,
+        format!("## {} — Table 4 decomposition\n", m.table_label()),
+    );
+    let mem = &m.host_mem;
+    let single = mem.raw_sustained_bw(PlacementQuality::single());
+    line(
+        &mut out,
+        format!(
+            "single-thread BW = per-core concurrency limit = {:.2} GB/s{}",
+            single,
+            p.map(|p| format!("   (paper: {:.2})", p.single.0))
+                .unwrap_or_default()
+        ),
+    );
+    let cores = m.topo.core_count() as u32;
+    let all = mem.raw_sustained_bw(PlacementQuality::all_cores(cores));
+    line(
+        &mut out,
+        format!(
+            "all-thread BW   = min({} cores x {:.2}, {:.1} peak x {:.3} eff x {:.3} cache-mode) = {:.2} GB/s{}",
+            cores,
+            mem.per_core_bw_gb_s,
+            mem.peak_bw_gb_s,
+            mem.sustained_efficiency,
+            mem.cache_mode_penalty,
+            all,
+            p.map(|p| format!("   (paper: {:.2})", p.all.0)).unwrap_or_default()
+        ),
+    );
+    let on_socket =
+        m.mpi.send_overhead.as_us() + m.mpi.shm_latency.as_us() + m.mpi.recv_overhead.as_us();
+    line(
+        &mut out,
+        format!(
+            "on-socket MPI   = send {:.3} + shm {:.3} + recv {:.3} = {:.2} us{}",
+            m.mpi.send_overhead.as_us(),
+            m.mpi.shm_latency.as_us(),
+            m.mpi.recv_overhead.as_us(),
+            on_socket,
+            p.map(|p| format!("   (paper: {:.2})", p.on_socket.0))
+                .unwrap_or_default()
+        ),
+    );
+    let extra = if m.topo.sockets.len() > 1 {
+        m.topo
+            .route(
+                Vertex::Numa(m.topo.numa_domains[0].id),
+                Vertex::Numa(m.topo.numa_domains[1].id),
+            )
+            .map(|r| r.total_latency().as_us())
+            .unwrap_or(0.0)
+    } else {
+        m.mpi.intra_numa_distance.as_us()
+    };
+    let kind = if m.topo.sockets.len() > 1 {
+        "inter-socket hop"
+    } else {
+        "on-die mesh crossing (core 0 -> core N-1)"
+    };
+    line(
+        &mut out,
+        format!(
+            "on-node MPI     = on-socket + {kind} {:.2} = {:.2} us{}",
+            extra,
+            on_socket + extra,
+            p.map(|p| format!("   (paper: {:.2})", p.on_node.0))
+                .unwrap_or_default()
+        ),
+    );
+    out
+}
+
+fn explain_gpu(m: &Machine) -> String {
+    let mut out = String::new();
+    let model = &m.gpu_models[0];
+    let p5 = paper::table5_row(m.name);
+    let p6 = paper::table6_row(m.name);
+    line(
+        &mut out,
+        format!("## {} — Tables 5/6 decomposition\n", m.table_label()),
+    );
+    line(
+        &mut out,
+        format!(
+            "device BW  = {:.1} peak x {:.4} sustained = {:.2} GB/s{}",
+            model.hbm.peak_bw_gb_s,
+            model.hbm.sustained_efficiency,
+            model.stream_bw(doe_memmodel::StreamOp::Triad),
+            p5.map(|p| format!("   (paper: {:.2})", p.device_bw.0))
+                .unwrap_or_default()
+        ),
+    );
+    line(
+        &mut out,
+        format!(
+            "launch     = driver submit path = {:.2} us{}",
+            model.launch_overhead.as_us(),
+            p6.map(|p| format!("   (paper: {:.2})", p.launch.0))
+                .unwrap_or_default()
+        ),
+    );
+    line(
+        &mut out,
+        format!(
+            "wait       = empty-queue device synchronize = {:.2} us{}",
+            model.sync_overhead.as_us(),
+            p6.map(|p| format!("   (paper: {:.2})", p.wait.0))
+                .unwrap_or_default()
+        ),
+    );
+    let dev = m.topo.devices[0].id;
+    let numa = m.topo.device(dev).expect("device").local_numa;
+    if let Some(host_link) = m.topo.direct_link(Vertex::Numa(numa), Vertex::Device(dev)) {
+        line(
+            &mut out,
+            format!(
+                "H2D/D2H    = launch {:.2} + DMA setup {:.2} + {} link {:.2} + stream-sync {:.2} = {:.2} us{}",
+                model.launch_overhead.as_us(),
+                model.copy_setup_host.as_us(),
+                host_link.kind.label(),
+                host_link.latency.as_us(),
+                model.stream_sync_overhead.as_us(),
+                model.launch_overhead.as_us()
+                    + model.copy_setup_host.as_us()
+                    + host_link.latency.as_us()
+                    + model.stream_sync_overhead.as_us(),
+                p6.map(|p| format!("   (paper: {:.2})", p.hd_latency.0)).unwrap_or_default()
+            ),
+        );
+        line(
+            &mut out,
+            format!(
+                "H2D/D2H BW = {} link bandwidth = {:.2} GB/s{}",
+                host_link.kind.label(),
+                host_link.bandwidth_gb_s,
+                p6.map(|p| format!("   (paper: {:.2})", p.hd_bandwidth.0))
+                    .unwrap_or_default()
+            ),
+        );
+    }
+    for (class, (da, db)) in m.topo.representative_pairs() {
+        let route = m
+            .topo
+            .route(Vertex::Device(da), Vertex::Device(db))
+            .expect("routable");
+        let hops: Vec<String> = route
+            .links
+            .iter()
+            .map(|l| format!("{} {:.2}", l.kind.label(), l.latency.as_us()))
+            .collect();
+        let total = model.launch_overhead.as_us()
+            + model.copy_setup_peer.as_us()
+            + route.total_latency().as_us()
+            + model.stream_sync_overhead.as_us();
+        let idx = match class {
+            LinkClass::A => 0,
+            LinkClass::B => 1,
+            LinkClass::C => 2,
+            LinkClass::D => 3,
+        };
+        let cite = p6
+            .and_then(|p| p.d2d[idx])
+            .map(|(mean, _)| format!("   (paper: {mean:.2})"))
+            .unwrap_or_default();
+        line(
+            &mut out,
+            format!(
+                "D2D {class}      = launch {:.2} + peer setup {:.2} + [{}] + sync {:.2} = {:.2} us{}",
+                model.launch_overhead.as_us(),
+                model.copy_setup_peer.as_us(),
+                hops.join(" + "),
+                model.stream_sync_overhead.as_us(),
+                total,
+                cite
+            ),
+        );
+    }
+    let h2h = m.mpi.send_overhead.as_us() + m.mpi.shm_latency.as_us() + m.mpi.recv_overhead.as_us();
+    line(
+        &mut out,
+        format!(
+            "host MPI   = send {:.3} + shm {:.3} + recv {:.3} = {:.2} us{}",
+            m.mpi.send_overhead.as_us(),
+            m.mpi.shm_latency.as_us(),
+            m.mpi.recv_overhead.as_us(),
+            h2h,
+            p5.map(|p| format!("   (paper: {:.2})", p.host_to_host.0))
+                .unwrap_or_default()
+        ),
+    );
+    match m.mpi.device_path {
+        DevicePath::Rma { extra_overhead } => {
+            let d2d =
+                m.mpi.send_overhead.as_us() + extra_overhead.as_us() + m.mpi.recv_overhead.as_us();
+            line(
+                &mut out,
+                format!(
+                    "device MPI = GPU-aware RMA: send {:.3} + doorbell {:.3} + recv {:.3} = {:.2} us (flat across classes){}",
+                    m.mpi.send_overhead.as_us(),
+                    extra_overhead.as_us(),
+                    m.mpi.recv_overhead.as_us(),
+                    d2d,
+                    p5.and_then(|p| p.d2d[0])
+                        .map(|(mean, _)| format!("   (paper: {mean:.2})"))
+                        .unwrap_or_default()
+                ),
+            );
+        }
+        DevicePath::Staged {
+            per_stage_overhead,
+            pipeline_efficiency,
+        } => {
+            line(
+                &mut out,
+                format!(
+                    "device MPI = host-staged pipeline: 3 stages x {:.2} us + D2H/host/H2D hops (pipeline eff {:.2})",
+                    per_stage_overhead.as_us(),
+                    pipeline_efficiency
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// Render the cost decomposition for a machine, or `None` if unknown.
+pub fn machine_report(name: &str) -> Option<String> {
+    let m = doe_machines::by_name(name)?;
+    Some(if m.is_accelerated() {
+        explain_gpu(&m)
+    } else {
+        explain_cpu(&m)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_report_shows_the_algebra() {
+        let r = machine_report("Theta").expect("machine");
+        assert!(r.contains("94. Theta"));
+        assert!(r.contains("cache-mode"));
+        assert!(r.contains("(paper: 119.72)"));
+        assert!(r.contains("on-die mesh crossing"));
+    }
+
+    #[test]
+    fn gpu_report_decomposes_every_metric() {
+        let r = machine_report("Frontier").expect("machine");
+        for needle in [
+            "1. Frontier",
+            "device BW",
+            "launch",
+            "H2D/D2H",
+            "D2D A",
+            "D2D D",
+            "GPU-aware RMA",
+            "(paper: 12.91)",
+        ] {
+            assert!(r.contains(needle), "missing {needle} in:\n{r}");
+        }
+    }
+
+    #[test]
+    fn staged_machines_describe_the_pipeline() {
+        let r = machine_report("Summit").expect("machine");
+        assert!(r.contains("host-staged pipeline"));
+        assert!(r.contains("X-Bus"));
+    }
+
+    #[test]
+    fn unknown_machine_is_none() {
+        assert!(machine_report("nonesuch").is_none());
+    }
+}

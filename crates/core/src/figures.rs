@@ -1,0 +1,81 @@
+//! Figures 1–3: node diagrams of the three accelerator node classes.
+
+/// The machine whose node diagram each paper figure shows.
+pub fn figure_machine(figure: u8) -> Option<&'static str> {
+    match figure {
+        1 => Some("Frontier"),   // shared by RZVernal and Tioga
+        2 => Some("Summit"),     // shared by Sierra and Lassen (4 GPUs)
+        3 => Some("Perlmutter"), // shared by Polaris
+        _ => None,
+    }
+}
+
+/// Render a figure as an ASCII node diagram.
+pub fn render_ascii(figure: u8) -> Option<String> {
+    let name = figure_machine(figure)?;
+    let m = doe_machines::by_name(name)?;
+    let mut out = format!(
+        "Figure {figure}: {} node diagram (shared by {})\n\n",
+        name,
+        siblings(figure)
+    );
+    out.push_str(&m.topo.render_ascii());
+    Some(out)
+}
+
+/// Render a figure as a Graphviz document.
+pub fn render_dot(figure: u8) -> Option<String> {
+    let name = figure_machine(figure)?;
+    let m = doe_machines::by_name(name)?;
+    Some(m.topo.render_dot())
+}
+
+fn siblings(figure: u8) -> &'static str {
+    match figure {
+        1 => "RZVernal, Tioga",
+        2 => "Sierra, Lassen (4 GPUs/node)",
+        3 => "Polaris",
+        _ => "",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_figures_render() {
+        for f in 1..=3u8 {
+            let s = render_ascii(f).expect("figure exists");
+            assert!(s.contains(&format!("Figure {f}")));
+            let dot = render_dot(f).expect("dot exists");
+            assert!(dot.starts_with("graph"));
+        }
+        assert!(render_ascii(4).is_none());
+        assert!(render_dot(0).is_none());
+    }
+
+    #[test]
+    fn figure1_shows_infinity_fabric_classes() {
+        let s = render_ascii(1).unwrap();
+        assert!(s.contains("IF x4"));
+        assert!(s.contains("IF x2"));
+        assert!(s.contains("IF x1"));
+        assert!(s.contains("A: "));
+        assert!(s.contains("D: "));
+    }
+
+    #[test]
+    fn figure2_shows_xbus_and_nvlink() {
+        let s = render_ascii(2).unwrap();
+        assert!(s.contains("X-Bus"));
+        assert!(s.contains("NVLink2"));
+    }
+
+    #[test]
+    fn figure3_shows_pcie_and_nvlink3() {
+        let s = render_ascii(3).unwrap();
+        assert!(s.contains("PCIe4 x16"));
+        assert!(s.contains("NVLink3"));
+    }
+}

@@ -1,0 +1,404 @@
+//! Studies beyond the paper's tables — its §5 future-work list, made
+//! runnable.
+//!
+//! 1. [`internode_latency_table`] / [`contention_series`] /
+//!    [`collectives_table`] — inter-node measurements over `doe-net`.
+//! 2. [`cpu_vendor_table`] — the Intel/AMD/Arm comparison on the
+//!    hypothetical extension machines.
+//! 3. [`mpi_variant_table`] — the same machine under different MPI
+//!    implementation models.
+
+use doe_benchlib::Samples;
+use doe_machines::extensions::extension_machines;
+use doe_mpi::{apply_variant, MpiVariant};
+use doe_net::collectives::{allreduce_best, barrier, P2pCost};
+use doe_net::{Fabric, FabricConfig, NetWorld, NicConfig, NodeId};
+use doe_osu::{on_socket_pair, osu_latency, osu_latency_device};
+use doe_report::Table;
+use doe_simtime::SimDuration;
+use doe_topo::DeviceId;
+
+use crate::campaign::Campaign;
+use crate::table5::device_pair_cores;
+
+/// Inter-node OSU-style latency/bandwidth: intra-group and inter-group
+/// placements, several message sizes.
+pub fn internode_latency_table(seed: u64) -> Table {
+    let mut t = Table::new(
+        "Inter-node point-to-point (future work 1): latency (us) and bandwidth (GB/s)",
+        &[
+            "Bytes",
+            "Intra-group lat",
+            "Inter-group lat",
+            "Inter-group BW",
+        ],
+    );
+    for bytes in [0u64, 1024, 8 * 1024, 64 * 1024, 1 << 20, 1 << 24] {
+        let mut near = Samples::new();
+        let mut far = Samples::new();
+        let mut bw = Samples::new();
+        for rep in 0..10u64 {
+            let mut w = NetWorld::new(
+                Fabric::new(FabricConfig::slingshot_like()),
+                NicConfig::default_hpc(),
+                seed ^ rep.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let a = w.add_rank(NodeId(0)).expect("node");
+            let b = w.add_rank(NodeId(1)).expect("node");
+            let c = w.add_rank(NodeId(16)).expect("node");
+            near.push(w.pingpong_latency_us(a, b, bytes, 50).expect("pingpong"));
+            far.push(w.pingpong_latency_us(a, c, bytes, 50).expect("pingpong"));
+            if bytes > 0 {
+                bw.push(w.streaming_bandwidth(a, c, bytes, 3).expect("bw"));
+            }
+        }
+        t.push_row(vec![
+            bytes.to_string(),
+            format!("{:.3}", near.summary().mean),
+            format!("{:.3}", far.summary().mean),
+            if bytes > 0 {
+                format!("{:.2}", bw.summary().mean)
+            } else {
+                "-".to_string()
+            },
+        ]);
+    }
+    t
+}
+
+/// The "there goes the neighborhood" experiment: inter-group bandwidth as
+/// background flows pile onto the global uplink. Returns `(flows, GB/s)`.
+pub fn contention_series(seed: u64, max_flows: u32) -> Vec<(u32, f64)> {
+    (0..=max_flows)
+        .map(|flows| {
+            let mut w = NetWorld::new(
+                Fabric::new(FabricConfig::slingshot_like()),
+                NicConfig::default_hpc(),
+                seed,
+            );
+            let a = w.add_rank(NodeId(0)).expect("node");
+            let b = w.add_rank(NodeId(16)).expect("node");
+            w.fabric_mut().add_background_flows(0, flows);
+            let bw = w.streaming_bandwidth(a, b, 1 << 22, 3).expect("bandwidth");
+            (flows, bw)
+        })
+        .collect()
+}
+
+/// Job-placement study on the fabric: a ring allreduce with ranks packed
+/// into one switch group vs spread one-per-group, quiet and with noisy
+/// neighbours — the scheduling question behind "there goes the
+/// neighborhood". Returns rows `(placement, quiet µs, noisy µs)`.
+pub fn placement_study(seed: u64, ranks: u32, bytes: u64) -> Vec<(String, f64, f64)> {
+    let run = |spread: bool, noisy: bool| -> f64 {
+        let mut w = NetWorld::new(
+            Fabric::new(FabricConfig::slingshot_like()),
+            NicConfig::default_hpc(),
+            seed,
+        );
+        let rs: Vec<_> = (0..ranks)
+            .map(|i| {
+                let node = if spread { i * 16 } else { i };
+                w.add_rank(NodeId(node)).expect("node")
+            })
+            .collect();
+        if noisy {
+            for g in 0..8 {
+                w.fabric_mut().add_background_flows(g, 3);
+            }
+        }
+        w.barrier();
+        let done = w.allreduce_ring(&rs, bytes).expect("allreduce");
+        done.as_us()
+    };
+    vec![
+        (
+            "packed (one group)".to_string(),
+            run(false, false),
+            run(false, true),
+        ),
+        (
+            "spread (one per group)".to_string(),
+            run(true, false),
+            run(true, true),
+        ),
+    ]
+}
+
+/// Allreduce algorithm comparison over the fabric's inter-group path.
+pub fn collectives_table() -> Table {
+    let fabric = Fabric::new(FabricConfig::slingshot_like());
+    let p2p = fabric.path(NodeId(0), NodeId(16)).expect("path");
+    let cost = P2pCost {
+        alpha: p2p.latency + SimDuration::from_ns(500.0), // + NIC overheads
+        bandwidth: p2p.bandwidth,
+    };
+    let mut t = Table::new(
+        "Allreduce algorithm model, 64 nodes (future work 1)",
+        &["Bytes", "Recursive-doubling (us)", "Ring (us)", "Winner"],
+    );
+    let p = 64;
+    for shift in [3u32, 10, 14, 17, 20, 24, 27] {
+        let bytes = 1u64 << shift;
+        let rd = doe_net::collectives::allreduce_recursive_doubling(p, bytes, cost);
+        let ring = doe_net::collectives::allreduce_ring(p, bytes, cost);
+        let (winner, _) = allreduce_best(p, bytes, cost);
+        t.push_row(vec![
+            bytes.to_string(),
+            format!("{:.2}", rd.as_us()),
+            format!("{:.2}", ring.as_us()),
+            winner.to_string(),
+        ]);
+    }
+    t.push_row(vec![
+        "barrier".to_string(),
+        format!("{:.2}", barrier(p, cost).as_us()),
+        String::new(),
+        String::new(),
+    ]);
+    t
+}
+
+/// Table 4's columns on the hypothetical AMD/Arm/HBM machines (future
+/// work 3). Clearly labelled: these rows are not paper results.
+pub fn cpu_vendor_table(c: &Campaign) -> Table {
+    let mut t = Table::new(
+        "CPU vendor comparison on hypothetical machines (future work 3; NOT paper data)",
+        &[
+            "Machine",
+            "CPU",
+            "Single",
+            "All",
+            "Peak",
+            "On-Socket",
+            "On-Node",
+        ],
+    );
+    for m in extension_machines() {
+        let row = crate::table4::run_machine(&m, c);
+        t.push_row(vec![
+            m.name.to_string(),
+            m.cpu_model.to_string(),
+            doe_report::pm_summary(&row.single),
+            doe_report::pm_summary(&row.all),
+            m.host_peak_citation.to_string(),
+            doe_report::pm_summary(&row.on_socket),
+            doe_report::pm_summary(&row.on_node),
+        ]);
+    }
+    t
+}
+
+/// Intra-node collectives *executed* over the MPI runtime on one machine:
+/// barrier plus both allreduce algorithms across a size sweep, with eight
+/// ranks on the machine's first cores (the paper's "one MPI rank per
+/// core" convention).
+pub fn intranode_collectives_table(machine: &str, c: &Campaign) -> Option<Table> {
+    use doe_osu::{osu_allreduce, osu_barrier, AllreduceAlgo};
+    let m = doe_machines::by_name(machine)?;
+    let cores: Vec<_> = m.topo.cores.iter().take(8).map(|core| core.id).collect();
+    if cores.len() < 8 {
+        return None;
+    }
+    let mut cfg = c.osu.clone();
+    cfg.reps = cfg.reps.min(10);
+    cfg.small_iters = cfg.small_iters.min(100);
+    cfg.large_iters = cfg.large_iters.min(10);
+    let mut t = Table::new(
+        format!("Intra-node collectives on {} (8 ranks, executed)", m.name),
+        &["Bytes", "Recursive-doubling (us)", "Ring (us)", "Winner"],
+    );
+    let barrier = osu_barrier(&m.topo, &m.mpi, &cores, &cfg, c.seed_for(m.name, "barrier"));
+    for bytes in [8u64, 1024, 65_536, 1 << 20, 4 << 20] {
+        let rd = osu_allreduce(
+            &m.topo,
+            &m.mpi,
+            &cores,
+            bytes,
+            AllreduceAlgo::RecursiveDoubling,
+            &cfg,
+            c.seed_for(m.name, "allreduce-rd"),
+        );
+        let ring = osu_allreduce(
+            &m.topo,
+            &m.mpi,
+            &cores,
+            bytes,
+            AllreduceAlgo::Ring,
+            &cfg,
+            c.seed_for(m.name, "allreduce-ring"),
+        );
+        let winner = if rd.mean <= ring.mean {
+            "recursive-doubling"
+        } else {
+            "ring"
+        };
+        t.push_row(vec![
+            bytes.to_string(),
+            format!("{:.2}", rd.mean),
+            format!("{:.2}", ring.mean),
+            winner.to_string(),
+        ]);
+    }
+    t.push_row(vec![
+        "barrier".to_string(),
+        format!("{:.2}", barrier.mean),
+        String::new(),
+        String::new(),
+    ]);
+    Some(t)
+}
+
+/// One machine's host and device MPI latency under each implementation
+/// model (future work 4).
+pub fn mpi_variant_table(machine: &str, c: &Campaign) -> Option<Table> {
+    let m = doe_machines::by_name(machine)?;
+    let mut t = Table::new(
+        format!(
+            "MPI implementation comparison on {} (future work 4; cf. [26])",
+            m.name
+        ),
+        &[
+            "Implementation",
+            "Host-to-Host (us)",
+            "Device-to-Device (us)",
+        ],
+    );
+    let socket_pair = on_socket_pair(&m.topo)?;
+    for variant in MpiVariant::ALL {
+        let mpi = apply_variant(&m.mpi, variant);
+        let h2h = osu_latency(
+            &m.topo,
+            &mpi,
+            socket_pair,
+            &c.osu,
+            c.seed_for(m.name, variant.name()),
+        )
+        .remove(0)
+        .one_way_us;
+        let d2d_cell = if m.is_accelerated() && m.topo.device_count() >= 2 {
+            let (da, db) = (DeviceId(0), DeviceId(1));
+            let cores = device_pair_cores(&m.topo, da, db);
+            let lat = osu_latency_device(
+                &m.topo,
+                &mpi,
+                cores,
+                (da, db),
+                &c.osu,
+                c.seed_for(m.name, variant.name()) ^ 0xD2D,
+            )
+            .remove(0)
+            .one_way_us;
+            doe_report::pm_summary(&lat)
+        } else {
+            "-".to_string()
+        };
+        t.push_row(vec![
+            variant.name().to_string(),
+            doe_report::pm_summary(&h2h),
+            d2d_cell,
+        ]);
+    }
+    Some(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn internode_table_has_monotone_latency() {
+        let t = internode_latency_table(1);
+        assert_eq!(t.rows.len(), 6);
+        let lats: Vec<f64> = t
+            .rows
+            .iter()
+            .map(|r| r[2].parse::<f64>().expect("latency cell"))
+            .collect();
+        for w in lats.windows(2) {
+            assert!(w[1] >= w[0] * 0.95, "{lats:?}");
+        }
+    }
+
+    #[test]
+    fn contention_series_degrades_monotonically() {
+        let series = contention_series(2, 6);
+        assert_eq!(series.len(), 7);
+        for w in series.windows(2) {
+            assert!(w[1].1 <= w[0].1 * 1.01, "{series:?}");
+        }
+        // Meaningful degradation by 6 background flows.
+        assert!(series[6].1 < series[0].1 / 3.0);
+    }
+
+    #[test]
+    fn placement_study_orders_as_expected() {
+        let rows = placement_study(3, 8, 1 << 20);
+        assert_eq!(rows.len(), 2);
+        let (packed_quiet, packed_noisy) = (rows[0].1, rows[0].2);
+        let (spread_quiet, spread_noisy) = (rows[1].1, rows[1].2);
+        // Spread costs more than packed, quiet or noisy.
+        assert!(spread_quiet > packed_quiet);
+        // Noise hurts the spread job (global links) far more than the
+        // packed one (intra-group links are unaffected).
+        assert!(spread_noisy > spread_quiet * 1.5);
+        assert!(packed_noisy < packed_quiet * 1.1);
+    }
+
+    #[test]
+    fn collectives_table_shows_a_crossover() {
+        let t = collectives_table();
+        let winners: Vec<&str> = t
+            .rows
+            .iter()
+            .filter(|r| r.len() == 4 && !r[3].is_empty())
+            .map(|r| r[3].as_str())
+            .collect();
+        assert!(winners.contains(&"recursive-doubling"));
+        assert!(winners.contains(&"ring"));
+    }
+
+    #[test]
+    fn intranode_collectives_cross_over() {
+        let t = intranode_collectives_table("Manzano", &Campaign::quick()).expect("machine");
+        let winners: Vec<&str> = t
+            .rows
+            .iter()
+            .filter(|r| !r[3].is_empty())
+            .map(|r| r[3].as_str())
+            .collect();
+        assert!(winners.contains(&"recursive-doubling"), "{winners:?}");
+        assert!(winners.contains(&"ring"), "{winners:?}");
+    }
+
+    #[test]
+    fn vendor_table_covers_the_three_extensions() {
+        let t = cpu_vendor_table(&Campaign::quick());
+        assert_eq!(t.rows.len(), 3);
+        assert!(t.to_ascii().contains("A64FX"));
+        assert!(t.title.contains("NOT paper data"));
+    }
+
+    #[test]
+    fn variant_table_separates_rma_from_staged_on_summit() {
+        let t = mpi_variant_table("Summit", &Campaign::quick()).expect("machine");
+        assert_eq!(t.rows.len(), 4);
+        let cell = |impl_name: &str| -> f64 {
+            let row = t
+                .rows
+                .iter()
+                .find(|r| r[0].contains(impl_name))
+                .expect("row");
+            row[2]
+                .split_whitespace()
+                .next()
+                .expect("mean")
+                .parse()
+                .expect("numeric")
+        };
+        // GDR-style stacks beat the staged stacks by several x on device
+        // latency — the [26] observation.
+        assert!(cell("mvapich2-gdr") * 2.0 < cell("spectrum-mpi"));
+        assert!(cell("cray-mpich") < cell("openmpi+ucx"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Table 4: memory bandwidth and MPI latency on non-accelerator machines.
+
+use doe_babelstream::run_sim_cpu;
+use doe_benchlib::Summary;
+use doe_machines::{paper, Machine};
+use doe_osu::{on_node_pair, on_socket_pair, osu_latency};
+use doe_report::{pm_summary, Comparison, Table};
+
+use crate::campaign::Campaign;
+
+/// One regenerated row of Table 4.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// `"<rank>. <name>"`.
+    pub label: String,
+    /// Machine name.
+    pub machine: String,
+    /// Single-thread memory bandwidth, GB/s.
+    pub single: Summary,
+    /// All-thread memory bandwidth, GB/s.
+    pub all: Summary,
+    /// The "Peak" citation string.
+    pub peak: &'static str,
+    /// On-socket MPI latency, µs.
+    pub on_socket: Summary,
+    /// On-node MPI latency, µs.
+    pub on_node: Summary,
+}
+
+/// Run the Table 4 benchmarks for one CPU machine.
+pub fn run_machine(m: &Machine, c: &Campaign) -> Row {
+    assert!(!m.is_accelerated(), "Table 4 covers CPU machines");
+    let stream = run_sim_cpu(
+        &m.topo,
+        &m.host_mem,
+        m.host_stream_jitter,
+        c.seed_for(m.name, "babelstream"),
+        &c.stream_cpu,
+    );
+    let socket_pair = on_socket_pair(&m.topo).expect("machine has >= 2 cores");
+    let node_pair = on_node_pair(&m.topo).expect("machine has >= 2 cores");
+    let on_socket = osu_latency(
+        &m.topo,
+        &m.mpi,
+        socket_pair,
+        &c.osu,
+        c.seed_for(m.name, "osu-socket"),
+    )
+    .remove(0)
+    .one_way_us;
+    let on_node = osu_latency(
+        &m.topo,
+        &m.mpi,
+        node_pair,
+        &c.osu,
+        c.seed_for(m.name, "osu-node"),
+    )
+    .remove(0)
+    .one_way_us;
+    Row {
+        label: m.table_label(),
+        machine: m.name.to_string(),
+        single: stream.single,
+        all: stream.all,
+        peak: m.host_peak_citation,
+        on_socket,
+        on_node,
+    }
+}
+
+/// Run all CPU machines.
+pub fn run(c: &Campaign) -> Vec<Row> {
+    doe_machines::cpu_machines()
+        .iter()
+        .map(|m| run_machine(m, c))
+        .collect()
+}
+
+/// Render rows in the paper's layout.
+pub fn render(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        "Table 4: memory bandwidth (GB/s) and MPI latency (us), non-accelerator systems",
+        &["Rank/Name", "Single", "All", "Peak", "On-Socket", "On-Node"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.label.clone(),
+            pm_summary(&r.single),
+            pm_summary(&r.all),
+            r.peak.to_string(),
+            pm_summary(&r.on_socket),
+            pm_summary(&r.on_node),
+        ]);
+    }
+    t
+}
+
+/// Render a paper-vs-measured comparison of the means.
+pub fn render_comparison(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        "Table 4 (paper -> measured)",
+        &["Rank/Name", "Single", "All", "On-Socket", "On-Node"],
+    );
+    for r in rows {
+        if let Some(p) = paper::table4_row(&r.machine) {
+            t.push_row(vec![
+                r.label.clone(),
+                Comparison::new(p.single.0, r.single.mean).to_string(),
+                Comparison::new(p.all.0, r.all.mean).to_string(),
+                Comparison::new(p.on_socket.0, r.on_socket.mean).to_string(),
+                Comparison::new(p.on_node.0, r.on_node.mean).to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eagle_row_lands_near_paper_values() {
+        let m = doe_machines::by_name("Eagle").unwrap();
+        let row = run_machine(&m, &Campaign::quick());
+        assert!(
+            (row.single.mean - 13.45).abs() < 1.0,
+            "single={}",
+            row.single.mean
+        );
+        assert!((row.all.mean - 208.24).abs() < 12.0, "all={}", row.all.mean);
+        assert!(
+            (row.on_socket.mean - 0.17).abs() < 0.03,
+            "sock={}",
+            row.on_socket.mean
+        );
+        assert!(
+            (row.on_node.mean - 0.38).abs() < 0.05,
+            "node={}",
+            row.on_node.mean
+        );
+    }
+
+    #[test]
+    fn render_produces_five_machine_rows() {
+        let m = doe_machines::by_name("Manzano").unwrap();
+        let rows = vec![run_machine(&m, &Campaign::quick())];
+        let t = render(&rows);
+        assert_eq!(t.headers.len(), 6);
+        assert!(t.to_ascii().contains("141. Manzano"));
+        let cmp = render_comparison(&rows);
+        assert!(cmp.to_ascii().contains("->") || cmp.to_ascii().contains("→"));
+    }
+
+    #[test]
+    #[should_panic(expected = "Table 4 covers CPU machines")]
+    fn gpu_machine_rejected() {
+        let m = doe_machines::by_name("Frontier").unwrap();
+        run_machine(&m, &Campaign::quick());
+    }
+}

@@ -1,0 +1,216 @@
+//! Runtime self-verification: the paper's headline claims, checked
+//! against a fresh campaign.
+//!
+//! The same shape assertions that gate CI (`tests/integration_tables.rs`)
+//! are exposed here as data, so a release binary can prove to its user —
+//! `doebench check` — that the simulator still reproduces the paper
+//! without needing a Rust toolchain.
+
+use doe_topo::LinkClass;
+
+use crate::campaign::Campaign;
+use crate::experiments::{self, Results};
+
+/// One verified claim.
+#[derive(Clone, Debug)]
+pub struct Claim {
+    /// Short claim name, quoting the paper where possible.
+    pub name: &'static str,
+    /// Whether the regenerated data satisfies it.
+    pub pass: bool,
+    /// Supporting numbers.
+    pub detail: String,
+}
+
+fn t5<'a>(r: &'a Results, name: &str) -> &'a crate::table5::Row {
+    r.table5
+        .iter()
+        .find(|x| x.machine == name)
+        .expect("machine present")
+}
+
+fn t6<'a>(r: &'a Results, name: &str) -> &'a crate::table6::Row {
+    r.table6
+        .iter()
+        .find(|x| x.machine == name)
+        .expect("machine present")
+}
+
+/// Run the quickest campaign that can support the claims and evaluate
+/// every claim.
+pub fn run_checks(c: &Campaign) -> Vec<Claim> {
+    let r = experiments::run_all(c);
+    claims(&r)
+}
+
+/// Evaluate the claims against existing results.
+pub fn claims(r: &Results) -> Vec<Claim> {
+    let mut out = Vec::new();
+    let mut claim = |name: &'static str, pass: bool, detail: String| {
+        out.push(Claim { name, pass, detail });
+    };
+
+    // Table 4 claims.
+    let xeons: Vec<_> = ["Sawtooth", "Eagle", "Manzano"]
+        .iter()
+        .map(|n| r.table4.iter().find(|x| &x.machine == n).expect("row"))
+        .collect();
+    claim(
+        "Xeon systems: 13-16 GB/s single-core, 200-250 GB/s all-core",
+        xeons
+            .iter()
+            .all(|x| (12.0..17.0).contains(&x.single.mean) && (190.0..260.0).contains(&x.all.mean)),
+        xeons
+            .iter()
+            .map(|x| format!("{}: {:.1}/{:.1}", x.machine, x.single.mean, x.all.mean))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    let trinity = r
+        .table4
+        .iter()
+        .find(|x| x.machine == "Trinity")
+        .expect("row");
+    let theta = r.table4.iter().find(|x| x.machine == "Theta").expect("row");
+    claim(
+        "Theta underperforms Trinity substantially (memory and MPI)",
+        theta.all.mean * 2.0 < trinity.all.mean
+            && theta.on_socket.mean > 4.0 * trinity.on_socket.mean,
+        format!(
+            "all: {:.0} vs {:.0} GB/s; on-socket {:.2} vs {:.2} us",
+            theta.all.mean, trinity.all.mean, theta.on_socket.mean, trinity.on_socket.mean
+        ),
+    );
+
+    // Table 5 claims.
+    claim(
+        "V100 device bandwidth well below A100/MI250X (~1.3 TB/s)",
+        ["Summit", "Sierra", "Lassen"].iter().all(|v| {
+            ["Perlmutter", "Frontier"]
+                .iter()
+                .all(|f| t5(r, v).device_bw.mean * 1.4 < t5(r, f).device_bw.mean)
+        }),
+        format!(
+            "Summit {:.0}, Perlmutter {:.0}, Frontier {:.0} GB/s",
+            t5(r, "Summit").device_bw.mean,
+            t5(r, "Perlmutter").device_bw.mean,
+            t5(r, "Frontier").device_bw.mean
+        ),
+    );
+    claim(
+        "Host MPI latency sub-microsecond on all accelerator machines",
+        r.table5.iter().all(|x| x.host_to_host.mean < 1.0),
+        r.table5
+            .iter()
+            .map(|x| format!("{} {:.2}", x.machine, x.host_to_host.mean))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    claim(
+        "Device MPI tiers: ~18-19 us V100, 10-14 us A100, sub-us MI250X",
+        {
+            let a = |n: &str| t5(r, n).d2d[&LinkClass::A].mean;
+            (15.0..22.0).contains(&a("Summit"))
+                && (9.0..16.0).contains(&a("Perlmutter"))
+                && a("Frontier") < 1.0
+        },
+        format!(
+            "Summit {:.1}, Perlmutter {:.1}, Frontier {:.2} us",
+            t5(r, "Summit").d2d[&LinkClass::A].mean,
+            t5(r, "Perlmutter").d2d[&LinkClass::A].mean,
+            t5(r, "Frontier").d2d[&LinkClass::A].mean
+        ),
+    );
+    claim(
+        "All GPUs roughly equidistant on the MI250X machines",
+        ["Frontier", "RZVernal", "Tioga"].iter().all(|n| {
+            let means: Vec<f64> = t5(r, n).d2d.values().map(|s| s.mean).collect();
+            let (lo, hi) = means
+                .iter()
+                .fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+            hi - lo < 0.3
+        }),
+        "max class spread < 0.3 us".to_string(),
+    );
+
+    // Table 6 claims.
+    claim(
+        "Kernel launch hierarchy: 4-5 us V100, 1.5-2.2 us A100/MI250X",
+        ["Summit", "Sierra", "Lassen"]
+            .iter()
+            .all(|n| (3.8..5.3).contains(&t6(r, n).launch_us.mean))
+            && ["Perlmutter", "Polaris", "Frontier", "RZVernal", "Tioga"]
+                .iter()
+                .all(|n| (1.2..2.5).contains(&t6(r, n).launch_us.mean)),
+        format!(
+            "Summit {:.2}, Perlmutter {:.2}, Frontier {:.2} us",
+            t6(r, "Summit").launch_us.mean,
+            t6(r, "Perlmutter").launch_us.mean,
+            t6(r, "Frontier").launch_us.mean
+        ),
+    );
+    claim(
+        "H2D/D2H latency trend inverts: MI250X slowest, A100 fastest",
+        {
+            let hd = |n: &str| t6(r, n).hd_latency_us.mean;
+            hd("Frontier") > hd("Summit") && hd("Summit") > hd("Perlmutter")
+        },
+        format!(
+            "Frontier {:.1} > Summit {:.1} > Perlmutter {:.1} us",
+            t6(r, "Frontier").hd_latency_us.mean,
+            t6(r, "Summit").hd_latency_us.mean,
+            t6(r, "Perlmutter").hd_latency_us.mean
+        ),
+    );
+    claim(
+        "V100 host bandwidth 40-60+ GB/s (NVLink); others ~25 GB/s (PCIe)",
+        ["Summit", "Sierra", "Lassen"]
+            .iter()
+            .all(|n| t6(r, n).hd_bandwidth_gb_s.mean > 40.0)
+            && ["Perlmutter", "Polaris", "Frontier"]
+                .iter()
+                .all(|n| (20.0..27.0).contains(&t6(r, n).hd_bandwidth_gb_s.mean)),
+        format!(
+            "Sierra {:.1}, Perlmutter {:.1} GB/s",
+            t6(r, "Sierra").hd_bandwidth_gb_s.mean,
+            t6(r, "Perlmutter").hd_bandwidth_gb_s.mean
+        ),
+    );
+    claim(
+        "Perlmutter vs Polaris: 2x D2D gap on identical hardware",
+        t6(r, "Polaris").d2d_latency_us[&LinkClass::A].mean
+            > 2.0 * t6(r, "Perlmutter").d2d_latency_us[&LinkClass::A].mean,
+        format!(
+            "Polaris {:.1} vs Perlmutter {:.1} us",
+            t6(r, "Polaris").d2d_latency_us[&LinkClass::A].mean,
+            t6(r, "Perlmutter").d2d_latency_us[&LinkClass::A].mean
+        ),
+    );
+    claim(
+        "Comm|Scope D2D much slower than OSU D2D on MI250X (memcpy vs RMA)",
+        ["Frontier", "Tioga"].iter().all(|n| {
+            t6(r, n).d2d_latency_us[&LinkClass::A].mean > 10.0 * t5(r, n).d2d[&LinkClass::A].mean
+        }),
+        format!(
+            "Frontier: {:.1} vs {:.2} us",
+            t6(r, "Frontier").d2d_latency_us[&LinkClass::A].mean,
+            t5(r, "Frontier").d2d[&LinkClass::A].mean
+        ),
+    );
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_claims_pass_on_a_quick_campaign() {
+        let claims = run_checks(&Campaign::quick());
+        assert!(claims.len() >= 10);
+        for c in &claims {
+            assert!(c.pass, "claim failed: {} ({})", c.name, c.detail);
+        }
+    }
+}

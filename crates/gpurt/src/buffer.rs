@@ -1,0 +1,91 @@
+//! Simulated memory allocations.
+//!
+//! Buffers carry no payload — the simulator models *where* data lives and
+//! *how big* it is, which is all the timing model needs. Pinnedness matters:
+//! Comm|Scope pins its host buffers ("If the source is the host, the source
+//! buffer is pinned"), and unpinned transfers stage through a driver bounce
+//! buffer at a significant cost.
+
+use doe_topo::{DeviceId, NumaId};
+
+/// Where an allocation lives.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MemLoc {
+    /// Host memory on a NUMA domain; `pinned` = page-locked for DMA.
+    Host {
+        /// NUMA domain of the pages.
+        numa: NumaId,
+        /// Page-locked?
+        pinned: bool,
+    },
+    /// Device (HBM) memory.
+    Device(DeviceId),
+}
+
+impl MemLoc {
+    /// True for device-resident memory.
+    pub fn is_device(self) -> bool {
+        matches!(self, MemLoc::Device(_))
+    }
+}
+
+/// A sized allocation at a location.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Buffer {
+    /// Location of the allocation.
+    pub loc: MemLoc,
+    /// Allocation size in bytes.
+    pub bytes: u64,
+}
+
+impl Buffer {
+    /// Allocate `bytes` of device memory on `dev` (cf. `cudaMalloc`).
+    pub fn device(dev: DeviceId, bytes: u64) -> Self {
+        Buffer {
+            loc: MemLoc::Device(dev),
+            bytes,
+        }
+    }
+
+    /// Allocate pinned host memory on `numa` (cf. `cudaMallocHost`).
+    pub fn pinned_host(numa: NumaId, bytes: u64) -> Self {
+        Buffer {
+            loc: MemLoc::Host { numa, pinned: true },
+            bytes,
+        }
+    }
+
+    /// Allocate ordinary pageable host memory on `numa` (cf. `malloc`).
+    pub fn pageable_host(numa: NumaId, bytes: u64) -> Self {
+        Buffer {
+            loc: MemLoc::Host {
+                numa,
+                pinned: false,
+            },
+            bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_location() {
+        let d = Buffer::device(DeviceId(2), 128);
+        assert_eq!(d.loc, MemLoc::Device(DeviceId(2)));
+        assert!(d.loc.is_device());
+        let p = Buffer::pinned_host(NumaId(1), 64);
+        assert_eq!(
+            p.loc,
+            MemLoc::Host {
+                numa: NumaId(1),
+                pinned: true
+            }
+        );
+        assert!(!p.loc.is_device());
+        let g = Buffer::pageable_host(NumaId(0), 32);
+        assert!(matches!(g.loc, MemLoc::Host { pinned: false, .. }));
+    }
+}

@@ -1,0 +1,45 @@
+//! Runtime error type (the moral equivalent of `cudaError_t`).
+
+use std::fmt;
+
+use doe_topo::DeviceId;
+
+/// Errors surfaced by [`crate::GpuRuntime`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpuError {
+    /// A device id outside the node's device table.
+    InvalidDevice(DeviceId),
+    /// A stream handle not created by this runtime / already destroyed.
+    InvalidStream,
+    /// A copy exceeding either buffer's allocation.
+    CopyOutOfBounds {
+        /// Requested byte count.
+        requested: u64,
+        /// Smallest involved allocation.
+        available: u64,
+    },
+    /// No route exists between the two endpoints (invalid topology use).
+    NoRoute(String),
+    /// Host-to-host copies are not the device runtime's job.
+    HostToHost,
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::InvalidDevice(d) => write!(f, "invalid device {d}"),
+            GpuError::InvalidStream => write!(f, "invalid stream handle"),
+            GpuError::CopyOutOfBounds {
+                requested,
+                available,
+            } => write!(
+                f,
+                "copy of {requested} bytes exceeds allocation of {available} bytes"
+            ),
+            GpuError::NoRoute(s) => write!(f, "no route: {s}"),
+            GpuError::HostToHost => write!(f, "host-to-host copy not supported by device runtime"),
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}

@@ -1,0 +1,33 @@
+//! A CUDA/HIP-like runtime API over the simulated GPU device.
+//!
+//! `doe-commscope` and the GPU backend of `doe-babelstream` are written
+//! against this API exactly as their originals are written against
+//! `cudart`/`hip`: allocate buffers, launch kernels and async copies into
+//! streams, synchronize, and read a (virtual) wall clock.
+//!
+//! # Example
+//!
+//! The host clock only advances by the *submission* cost when launching —
+//! the defining property behind the paper's kernel-launch-latency numbers:
+//!
+//! ```
+//! use doe_gpurt::testkit;
+//!
+//! let mut rt = testkit::single_gpu_runtime();
+//! let t0 = rt.now();
+//! let s = rt.create_stream(rt.current_device()).unwrap();
+//! rt.launch_empty(&s).unwrap();
+//! let launch_cost = rt.now().since(t0);
+//! rt.stream_synchronize(&s).unwrap();
+//! let total = rt.now().since(t0);
+//! assert!(launch_cost < total);
+//! ```
+
+pub mod buffer;
+pub mod error;
+pub mod runtime;
+pub mod testkit;
+
+pub use buffer::{Buffer, MemLoc};
+pub use error::GpuError;
+pub use runtime::{GpuRuntime, StreamHandle};

@@ -1,0 +1,769 @@
+//! The simulated device runtime.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use doe_gpusim::{Engine, GpuModel};
+use doe_memmodel::{PlacementQuality, StreamOp};
+use doe_simtime::{Clock, SimDuration, SimRng, SimTime, Trace};
+use doe_topo::{DeviceId, NodeTopology, Vertex};
+
+use crate::buffer::{Buffer, MemLoc};
+use crate::error::GpuError;
+
+/// Bandwidth derating for pageable (unpinned) host transfers, which stage
+/// through a driver bounce buffer.
+const UNPINNED_BW_FACTOR: f64 = 0.55;
+/// Extra per-copy staging setup for pageable host transfers.
+const UNPINNED_EXTRA_SETUP_US: f64 = 10.0;
+
+/// A handle to an in-order stream on a device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamHandle {
+    device: DeviceId,
+    idx: usize,
+}
+
+impl StreamHandle {
+    /// The device this stream belongs to.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+}
+
+/// A copy decomposed for the occupancy model.
+struct CopyParts {
+    /// DMA setup + per-hop latencies: overlaps with other transfers.
+    setup_and_latency: SimDuration,
+    /// Time the payload occupies the bottleneck wire.
+    serialization: SimDuration,
+    /// The directed bottleneck link (`None` for intra-device copies).
+    wire: Option<(Vertex, Vertex)>,
+}
+
+/// A recorded event: completion point of everything enqueued before it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GpuEvent {
+    completes_at: SimTime,
+}
+
+impl GpuEvent {
+    /// Virtual elapsed time from `earlier` to `self`.
+    pub fn elapsed_since(&self, earlier: &GpuEvent) -> SimDuration {
+        self.completes_at.saturating_since(earlier.completes_at)
+    }
+}
+
+/// The CUDA/HIP-like runtime over a node's devices.
+#[derive(Debug)]
+pub struct GpuRuntime {
+    topo: Arc<NodeTopology>,
+    models: Vec<GpuModel>,
+    clock: Clock,
+    /// Common-mode run factor: one draw per runtime instance, scaling
+    /// every driver-path cost. Run-to-run σ in the paper's Table 6 is a
+    /// common mode (clocks, driver state); per-operation noise would
+    /// average away over the thousands of operations each batch runs.
+    run_factor: f64,
+    /// Per device: stream engines; index 0 is the default stream.
+    streams: Vec<Vec<Engine>>,
+    /// Per directed link `(entry, exit)`: wire occupancy. Transfers
+    /// serialize per direction (full-duplex links carry both directions
+    /// concurrently), so concurrent same-direction copies queue while
+    /// opposite directions overlap — the duplex behaviour Comm|Scope's
+    /// `Duplex` tests exercise.
+    wires: HashMap<(Vertex, Vertex), Engine>,
+    current: DeviceId,
+    /// Optional operation trace (spans on per-stream / per-wire tracks).
+    trace: Option<Trace>,
+}
+
+impl GpuRuntime {
+    /// Build a runtime for `topo` with one [`GpuModel`] per device, in
+    /// device-id order. `seed` drives measurement jitter.
+    ///
+    /// # Panics
+    /// Panics if the model count does not match the device count or the
+    /// node has no devices.
+    pub fn new(topo: Arc<NodeTopology>, models: Vec<GpuModel>, seed: u64) -> Self {
+        assert!(
+            !topo.devices.is_empty(),
+            "GpuRuntime requires at least one device"
+        );
+        assert_eq!(
+            models.len(),
+            topo.devices.len(),
+            "one GpuModel per device required"
+        );
+        let streams = topo.devices.iter().map(|_| vec![Engine::new()]).collect();
+        let current = topo.devices[0].id;
+        let mut rng = SimRng::stream(seed, &format!("gpurt/{}", topo.name), 0);
+        let run_factor = models[0].jitter.sample_scalar(1.0, &mut rng).max(0.05);
+        GpuRuntime {
+            topo,
+            models,
+            clock: Clock::new(),
+            run_factor,
+            streams,
+            wires: HashMap::new(),
+            current,
+            trace: None,
+        }
+    }
+
+    /// Start recording an operation trace (kernels, copies, syncs).
+    pub fn enable_tracing(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Trace::new());
+        }
+    }
+
+    /// Stop tracing and return what was recorded, if tracing was enabled.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
+    }
+
+    fn trace_span(
+        &mut self,
+        name: impl Into<String>,
+        category: &'static str,
+        track: String,
+        start: SimTime,
+        duration: SimDuration,
+    ) {
+        if let Some(t) = self.trace.as_mut() {
+            t.record(name, category, track, start, duration);
+        }
+    }
+
+    fn stream_track(s: &StreamHandle) -> String {
+        format!("{}/stream{}", s.device, s.idx)
+    }
+
+    /// The node topology the runtime executes on.
+    pub fn topology(&self) -> &NodeTopology {
+        &self.topo
+    }
+
+    /// Model parameters of a device.
+    pub fn model(&self, dev: DeviceId) -> Result<&GpuModel, GpuError> {
+        self.topo
+            .device(dev)
+            .and_then(|_| self.models.get(dev.index()))
+            .ok_or(GpuError::InvalidDevice(dev))
+    }
+
+    /// The currently selected device (cf. `cudaSetDevice`).
+    pub fn current_device(&self) -> DeviceId {
+        self.current
+    }
+
+    /// Select the current device.
+    pub fn set_device(&mut self, dev: DeviceId) -> Result<(), GpuError> {
+        if self.topo.device(dev).is_none() {
+            return Err(GpuError::InvalidDevice(dev));
+        }
+        self.current = dev;
+        Ok(())
+    }
+
+    /// The virtual host clock (cf. `clock_gettime` in the benchmarks).
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Advance the host clock by benchmark-loop overhead outside the
+    /// runtime's control (used sparingly by harnesses).
+    pub fn advance_host(&mut self, d: SimDuration) {
+        self.clock.advance(d);
+    }
+
+    /// Create a new stream on `dev`.
+    pub fn create_stream(&mut self, dev: DeviceId) -> Result<StreamHandle, GpuError> {
+        if self.topo.device(dev).is_none() {
+            return Err(GpuError::InvalidDevice(dev));
+        }
+        let lanes = &mut self.streams[dev.index()];
+        lanes.push(Engine::new());
+        Ok(StreamHandle {
+            device: dev,
+            idx: lanes.len() - 1,
+        })
+    }
+
+    /// The device's default stream.
+    pub fn default_stream(&self, dev: DeviceId) -> Result<StreamHandle, GpuError> {
+        if self.topo.device(dev).is_none() {
+            return Err(GpuError::InvalidDevice(dev));
+        }
+        Ok(StreamHandle {
+            device: dev,
+            idx: 0,
+        })
+    }
+
+    fn engine(&mut self, s: &StreamHandle) -> Result<&mut Engine, GpuError> {
+        self.streams
+            .get_mut(s.device.index())
+            .and_then(|v| v.get_mut(s.idx))
+            .ok_or(GpuError::InvalidStream)
+    }
+
+    fn jittered(&mut self, _dev: DeviceId, base: SimDuration) -> SimDuration {
+        base * self.run_factor
+    }
+
+    /// Launch an empty zero-argument kernel (Comm|Scope `cudart_kernel`).
+    /// The host pays only the submission cost; execution is asynchronous.
+    pub fn launch_empty(&mut self, s: &StreamHandle) -> Result<(), GpuError> {
+        let m = self.model(s.device)?;
+        let (launch, body) = (m.launch_overhead, m.empty_kernel_time);
+        let launch = self.jittered(s.device, launch);
+        let now = self.clock.advance(launch);
+        let body = self.jittered(s.device, body);
+        let (start, _end) = self.engine(s)?.enqueue(now, body);
+        self.trace_span("empty kernel", "gpu", Self::stream_track(s), start, body);
+        Ok(())
+    }
+
+    /// Launch a kernel with a caller-computed device-side duration.
+    pub fn launch_kernel(
+        &mut self,
+        s: &StreamHandle,
+        device_time: SimDuration,
+    ) -> Result<(), GpuError> {
+        let m = self.model(s.device)?;
+        let launch = self.jittered(s.device, m.launch_overhead);
+        let now = self.clock.advance(launch);
+        let body = self.jittered(s.device, device_time);
+        let (start, _end) = self.engine(s)?.enqueue(now, body);
+        self.trace_span("kernel", "gpu", Self::stream_track(s), start, body);
+        Ok(())
+    }
+
+    /// Launch one BabelStream kernel over `n` f64 elements.
+    pub fn launch_stream_op(
+        &mut self,
+        s: &StreamHandle,
+        op: StreamOp,
+        n: u64,
+    ) -> Result<(), GpuError> {
+        let t = self.model(s.device)?.stream_kernel_time(op, n);
+        self.launch_kernel(s, t)
+    }
+
+    /// Asynchronous copy of `bytes` from `src` to `dst` on stream `s`
+    /// (cf. `cudaMemcpyAsync` / `hipMemcpyAsync`).
+    ///
+    /// The copy's *setup + latency* portion overlaps freely with other
+    /// transfers; its *serialization* occupies the bottleneck link in the
+    /// traversal direction, so concurrent same-direction copies queue on
+    /// the wire while opposite directions run duplex.
+    pub fn memcpy_async(
+        &mut self,
+        dst: &Buffer,
+        src: &Buffer,
+        bytes: u64,
+        s: &StreamHandle,
+    ) -> Result<(), GpuError> {
+        let available = dst.bytes.min(src.bytes);
+        if bytes > available {
+            return Err(GpuError::CopyOutOfBounds {
+                requested: bytes,
+                available,
+            });
+        }
+        let parts = self.copy_parts(dst.loc, src.loc, bytes, s.device)?;
+        let m = self.model(s.device)?;
+        let launch = self.jittered(s.device, m.launch_overhead);
+        let now = self.clock.advance(launch);
+        let overheads = self.jittered(s.device, parts.setup_and_latency);
+        let ser = self.jittered(s.device, parts.serialization);
+        let start = now.max(self.engine(s)?.busy_until());
+        let completion = match parts.wire {
+            Some(key) => {
+                let at_wire = start + overheads;
+                let (wire_start, wire_end) =
+                    self.wires.entry(key).or_default().enqueue(at_wire, ser);
+                self.trace_span(
+                    format!("memcpy {bytes}B"),
+                    "wire",
+                    format!("{} -> {}", key.0, key.1),
+                    wire_start,
+                    ser,
+                );
+                wire_end
+            }
+            None => start + overheads + ser,
+        };
+        self.engine(s)?.occupy_until(completion);
+        self.trace_span(
+            format!("copy {bytes}B"),
+            "gpu",
+            Self::stream_track(s),
+            start,
+            completion.saturating_since(start),
+        );
+        Ok(())
+    }
+
+    /// The device-side duration of a copy (setup + traversal), excluding
+    /// the host submit cost, jitter, and any wire contention.
+    pub fn copy_duration(
+        &self,
+        dst: MemLoc,
+        src: MemLoc,
+        bytes: u64,
+        executing_dev: DeviceId,
+    ) -> Result<SimDuration, GpuError> {
+        let p = self.copy_parts(dst, src, bytes, executing_dev)?;
+        Ok(p.setup_and_latency + p.serialization)
+    }
+
+    /// Decompose a copy into its overlap-friendly part (DMA setup + hop
+    /// latencies) and the wire-occupying serialization, plus the directed
+    /// bottleneck link it serializes on.
+    fn copy_parts(
+        &self,
+        dst: MemLoc,
+        src: MemLoc,
+        bytes: u64,
+        executing_dev: DeviceId,
+    ) -> Result<CopyParts, GpuError> {
+        let m = self.model(executing_dev)?;
+        match (src, dst) {
+            (MemLoc::Host { .. }, MemLoc::Host { .. }) => Err(GpuError::HostToHost),
+            (MemLoc::Device(a), MemLoc::Device(b)) if a == b => {
+                // Intra-device copy: read + write through HBM; no wire.
+                let bw = m.hbm.raw_sustained_bw(PlacementQuality::all_cores(65_536));
+                Ok(CopyParts {
+                    setup_and_latency: m.copy_setup_peer,
+                    serialization: SimDuration::transfer(2 * bytes, bw),
+                    wire: None,
+                })
+            }
+            (MemLoc::Device(a), MemLoc::Device(b)) => {
+                let route = self
+                    .topo
+                    .route(Vertex::Device(a), Vertex::Device(b))
+                    .ok_or_else(|| GpuError::NoRoute(format!("{a} -> {b}")))?;
+                Ok(CopyParts {
+                    setup_and_latency: m.copy_setup_peer + route.total_latency(),
+                    serialization: SimDuration::transfer(bytes, route.bottleneck_bandwidth()),
+                    wire: route.bottleneck_oriented(),
+                })
+            }
+            (MemLoc::Host { numa, pinned }, MemLoc::Device(d))
+            | (MemLoc::Device(d), MemLoc::Host { numa, pinned }) => {
+                let (from, to) = if matches!(src, MemLoc::Host { .. }) {
+                    (Vertex::Numa(numa), Vertex::Device(d))
+                } else {
+                    (Vertex::Device(d), Vertex::Numa(numa))
+                };
+                let route = self
+                    .topo
+                    .route(from, to)
+                    .ok_or_else(|| GpuError::NoRoute(format!("{numa} -> {d}")))?;
+                let mut setup = m.copy_setup_host + route.total_latency();
+                let mut bw = route.bottleneck_bandwidth();
+                if !pinned {
+                    bw *= UNPINNED_BW_FACTOR;
+                    setup += SimDuration::from_us(UNPINNED_EXTRA_SETUP_US);
+                }
+                Ok(CopyParts {
+                    setup_and_latency: setup,
+                    serialization: SimDuration::transfer(bytes, bw),
+                    wire: route.bottleneck_oriented(),
+                })
+            }
+        }
+    }
+
+    /// Block the host until stream `s` drains, then pay the synchronize
+    /// handshake (cf. `cudaStreamSynchronize`).
+    pub fn stream_synchronize(&mut self, s: &StreamHandle) -> Result<(), GpuError> {
+        let m = self.model(s.device)?;
+        let sync = self.jittered(s.device, m.stream_sync_overhead);
+        let wait_from = self.clock.now();
+        let tail = self.engine(s)?.busy_until();
+        self.clock.advance_to(tail);
+        let now = self.clock.advance(sync);
+        self.engine(s)?.retire_until(now);
+        self.trace_span(
+            "stream sync",
+            "host",
+            "host".to_string(),
+            wait_from,
+            now.saturating_since(wait_from),
+        );
+        Ok(())
+    }
+
+    /// Block the host until every stream on the current device drains
+    /// (cf. `cudaDeviceSynchronize`). On an empty queue this costs exactly
+    /// the synchronize handshake — the paper's "Wait" column.
+    pub fn device_synchronize(&mut self) -> Result<(), GpuError> {
+        let dev = self.current;
+        let m = self.model(dev)?;
+        let sync = self.jittered(dev, m.sync_overhead);
+        let tail = self.streams[dev.index()]
+            .iter()
+            .map(|e| e.busy_until())
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        self.clock.advance_to(tail);
+        let now = self.clock.advance(sync);
+        for e in &mut self.streams[dev.index()] {
+            e.retire_until(now);
+        }
+        Ok(())
+    }
+
+    /// Record an event on `s`: it completes when everything already
+    /// enqueued completes (cf. `cudaEventRecord`).
+    pub fn event_record(&mut self, s: &StreamHandle) -> Result<GpuEvent, GpuError> {
+        let at = self.engine(s)?.busy_until().max(self.clock.now());
+        Ok(GpuEvent { completes_at: at })
+    }
+
+    /// Block the host until `e` completes (cf. `cudaEventSynchronize`).
+    pub fn event_synchronize(&mut self, e: &GpuEvent) {
+        self.clock.advance_to(e.completes_at);
+    }
+
+    /// Make everything subsequently enqueued on `s` wait for `e`
+    /// (cf. `cudaStreamWaitEvent`) — the cross-stream dependency
+    /// primitive pipelined benchmarks build on. Costs nothing on the host.
+    pub fn stream_wait_event(&mut self, s: &StreamHandle, e: &GpuEvent) -> Result<(), GpuError> {
+        let at = e.completes_at;
+        self.engine(s)?.delay_until(at);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit;
+    use doe_topo::NumaId;
+
+    #[test]
+    fn launch_costs_only_submission() {
+        let mut rt = testkit::single_gpu_runtime();
+        let s = rt.default_stream(DeviceId(0)).unwrap();
+        let t0 = rt.now();
+        rt.launch_empty(&s).unwrap();
+        let dt = rt.now().since(t0);
+        let expect = rt.model(DeviceId(0)).unwrap().launch_overhead;
+        // Within jitter of the configured overhead, far below kernel time.
+        assert!(dt.as_us() > expect.as_us() * 0.8 && dt.as_us() < expect.as_us() * 1.2);
+    }
+
+    #[test]
+    fn empty_queue_sync_costs_sync_overhead() {
+        let mut rt = testkit::single_gpu_runtime();
+        let t0 = rt.now();
+        rt.device_synchronize().unwrap();
+        let dt = rt.now().since(t0);
+        let expect = rt.model(DeviceId(0)).unwrap().sync_overhead;
+        assert!((dt.as_us() - expect.as_us()).abs() / expect.as_us() < 0.2);
+    }
+
+    #[test]
+    fn sync_after_launch_waits_for_kernel() {
+        let mut rt = testkit::single_gpu_runtime();
+        let s = rt.default_stream(DeviceId(0)).unwrap();
+        let t0 = rt.now();
+        rt.launch_empty(&s).unwrap();
+        rt.stream_synchronize(&s).unwrap();
+        let m = rt.model(DeviceId(0)).unwrap();
+        let floor = m.launch_overhead + m.empty_kernel_time;
+        assert!(rt.now().since(t0) >= floor * 0.8);
+    }
+
+    #[test]
+    fn back_to_back_launches_pipeline() {
+        let mut rt = testkit::single_gpu_runtime();
+        let s = rt.default_stream(DeviceId(0)).unwrap();
+        // Launch 10 kernels: host time = 10 launches, then one sync drains
+        // the serialized kernel bodies.
+        let t0 = rt.now();
+        for _ in 0..10 {
+            rt.launch_empty(&s).unwrap();
+        }
+        let after_launches = rt.now().since(t0);
+        rt.device_synchronize().unwrap();
+        let total = rt.now().since(t0);
+        let m = rt.model(DeviceId(0)).unwrap();
+        assert!(after_launches < m.launch_overhead * 13);
+        // Bodies execute in order; total covers at least 10 bodies if the
+        // body dominates, or at least the launches otherwise.
+        assert!(total >= m.empty_kernel_time * 9);
+    }
+
+    #[test]
+    fn h2d_copy_latency_and_bandwidth() {
+        let mut rt = testkit::single_gpu_runtime();
+        let s = rt.default_stream(DeviceId(0)).unwrap();
+        let host = Buffer::pinned_host(NumaId(0), 1 << 30);
+        let dev = Buffer::device(DeviceId(0), 1 << 30);
+
+        // Small copy: dominated by setup + link latency.
+        let t0 = rt.now();
+        rt.memcpy_async(&dev, &host, 128, &s).unwrap();
+        rt.stream_synchronize(&s).unwrap();
+        let small = rt.now().since(t0);
+
+        // Large copy: dominated by serialization at the link bandwidth.
+        let t1 = rt.now();
+        rt.memcpy_async(&dev, &host, 1 << 30, &s).unwrap();
+        rt.stream_synchronize(&s).unwrap();
+        let large = rt.now().since(t1);
+
+        assert!(large > small * 100);
+        let bw = large.bandwidth_gb_s(1 << 30);
+        // Should be close to (below) the configured 25 GB/s PCIe link.
+        assert!(bw > 15.0 && bw < 25.5, "bw={bw}");
+    }
+
+    #[test]
+    fn unpinned_copies_are_slower() {
+        let rt = testkit::single_gpu_runtime();
+        let bytes = 1 << 26;
+        let pinned = rt
+            .copy_duration(
+                MemLoc::Device(DeviceId(0)),
+                MemLoc::Host {
+                    numa: NumaId(0),
+                    pinned: true,
+                },
+                bytes,
+                DeviceId(0),
+            )
+            .unwrap();
+        let pageable = rt
+            .copy_duration(
+                MemLoc::Device(DeviceId(0)),
+                MemLoc::Host {
+                    numa: NumaId(0),
+                    pinned: false,
+                },
+                bytes,
+                DeviceId(0),
+            )
+            .unwrap();
+        assert!(pageable > pinned);
+    }
+
+    #[test]
+    fn d2d_copy_uses_peer_route() {
+        let mut rt = testkit::dual_gpu_runtime();
+        let s = rt.default_stream(DeviceId(0)).unwrap();
+        let a = Buffer::device(DeviceId(0), 1 << 20);
+        let b = Buffer::device(DeviceId(1), 1 << 20);
+        let t0 = rt.now();
+        rt.memcpy_async(&b, &a, 128, &s).unwrap();
+        rt.stream_synchronize(&s).unwrap();
+        let dt = rt.now().since(t0);
+        let m = rt.model(DeviceId(0)).unwrap();
+        assert!(dt >= m.copy_setup_peer * 0.8);
+    }
+
+    #[test]
+    fn intra_device_copy_charges_read_and_write() {
+        let rt = testkit::single_gpu_runtime();
+        let d = rt
+            .copy_duration(
+                MemLoc::Device(DeviceId(0)),
+                MemLoc::Device(DeviceId(0)),
+                1 << 30,
+                DeviceId(0),
+            )
+            .unwrap();
+        // 2 GiB of HBM traffic at ~900 GB/s sustained: ~2.4 ms.
+        assert!(d.as_us() > 1_000.0, "d={d}");
+    }
+
+    #[test]
+    fn host_to_host_rejected() {
+        let rt = testkit::single_gpu_runtime();
+        let err = rt
+            .copy_duration(
+                MemLoc::Host {
+                    numa: NumaId(0),
+                    pinned: true,
+                },
+                MemLoc::Host {
+                    numa: NumaId(0),
+                    pinned: true,
+                },
+                64,
+                DeviceId(0),
+            )
+            .unwrap_err();
+        assert_eq!(err, GpuError::HostToHost);
+    }
+
+    #[test]
+    fn oversized_copy_rejected() {
+        let mut rt = testkit::single_gpu_runtime();
+        let s = rt.default_stream(DeviceId(0)).unwrap();
+        let host = Buffer::pinned_host(NumaId(0), 64);
+        let dev = Buffer::device(DeviceId(0), 1 << 20);
+        let err = rt.memcpy_async(&dev, &host, 128, &s).unwrap_err();
+        assert!(matches!(err, GpuError::CopyOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn invalid_device_rejected() {
+        let mut rt = testkit::single_gpu_runtime();
+        assert!(rt.set_device(DeviceId(9)).is_err());
+        assert!(rt.default_stream(DeviceId(9)).is_err());
+        assert!(rt.create_stream(DeviceId(9)).is_err());
+    }
+
+    #[test]
+    fn opposite_directions_run_duplex() {
+        // H2D on one stream and D2H on another: full-duplex links carry
+        // both, so the pair completes in about one transfer time.
+        let mut rt = testkit::single_gpu_runtime();
+        let dev = DeviceId(0);
+        let s1 = rt.create_stream(dev).unwrap();
+        let s2 = rt.create_stream(dev).unwrap();
+        let host = Buffer::pinned_host(NumaId(0), 1 << 30);
+        let devb = Buffer::device(dev, 1 << 30);
+        let bytes = 1u64 << 28; // ~10.7 ms at 25 GB/s
+
+        let t0 = rt.now();
+        rt.memcpy_async(&devb, &host, bytes, &s1).unwrap();
+        rt.memcpy_async(&host, &devb, bytes, &s2).unwrap();
+        rt.stream_synchronize(&s1).unwrap();
+        rt.stream_synchronize(&s2).unwrap();
+        let both = rt.now().since(t0);
+
+        let mut rt2 = testkit::single_gpu_runtime();
+        let s = rt2.default_stream(dev).unwrap();
+        let t0 = rt2.now();
+        rt2.memcpy_async(&devb, &host, bytes, &s).unwrap();
+        rt2.stream_synchronize(&s).unwrap();
+        let one = rt2.now().since(t0);
+
+        assert!(
+            both.as_us() < one.as_us() * 1.2,
+            "duplex pair ({both}) should cost about one transfer ({one})"
+        );
+    }
+
+    #[test]
+    fn same_direction_copies_contend_for_the_wire() {
+        // Two H2D copies on separate streams share one link direction:
+        // they serialize, taking about twice one transfer.
+        let mut rt = testkit::single_gpu_runtime();
+        let dev = DeviceId(0);
+        let s1 = rt.create_stream(dev).unwrap();
+        let s2 = rt.create_stream(dev).unwrap();
+        let host = Buffer::pinned_host(NumaId(0), 1 << 30);
+        let devb = Buffer::device(dev, 1 << 30);
+        let bytes = 1u64 << 28;
+
+        let t0 = rt.now();
+        rt.memcpy_async(&devb, &host, bytes, &s1).unwrap();
+        rt.memcpy_async(&devb, &host, bytes, &s2).unwrap();
+        rt.stream_synchronize(&s1).unwrap();
+        rt.stream_synchronize(&s2).unwrap();
+        let both = rt.now().since(t0);
+
+        let mut rt2 = testkit::single_gpu_runtime();
+        let s = rt2.default_stream(dev).unwrap();
+        let t0 = rt2.now();
+        rt2.memcpy_async(&devb, &host, bytes, &s).unwrap();
+        rt2.stream_synchronize(&s).unwrap();
+        let one = rt2.now().since(t0);
+
+        let ratio = both.as_us() / one.as_us();
+        assert!(
+            (1.8..2.3).contains(&ratio),
+            "same-direction pair should serialize: ratio={ratio}"
+        );
+    }
+
+    #[test]
+    fn events_measure_queue_spans() {
+        let mut rt = testkit::single_gpu_runtime();
+        let s = rt.default_stream(DeviceId(0)).unwrap();
+        let e0 = rt.event_record(&s).unwrap();
+        rt.launch_empty(&s).unwrap();
+        let e1 = rt.event_record(&s).unwrap();
+        rt.event_synchronize(&e1);
+        let span = e1.elapsed_since(&e0);
+        let m = rt.model(DeviceId(0)).unwrap();
+        assert!(span >= m.empty_kernel_time * 0.8);
+    }
+
+    #[test]
+    fn stream_wait_event_chains_across_streams() {
+        let mut rt = testkit::single_gpu_runtime();
+        let dev = DeviceId(0);
+        let s1 = rt.create_stream(dev).unwrap();
+        let s2 = rt.create_stream(dev).unwrap();
+        // Kernel on s1, record event, make s2 wait on it, launch on s2.
+        rt.launch_empty(&s1).unwrap();
+        let e = rt.event_record(&s1).unwrap();
+        rt.stream_wait_event(&s2, &e).unwrap();
+        rt.launch_empty(&s2).unwrap();
+        rt.stream_synchronize(&s2).unwrap();
+        let m = rt.model(dev).unwrap();
+        // s2's kernel ran after s1's: total spans at least two kernel bodies.
+        let floor = m.empty_kernel_time * 2;
+        assert!(
+            rt.now().since(doe_simtime::SimTime::ZERO) >= floor * 0.8,
+            "dependency chain not honoured"
+        );
+        // Without the dependency the kernels overlap.
+        let mut rt2 = testkit::single_gpu_runtime();
+        let a = rt2.create_stream(dev).unwrap();
+        let b = rt2.create_stream(dev).unwrap();
+        rt2.launch_empty(&a).unwrap();
+        rt2.launch_empty(&b).unwrap();
+        rt2.stream_synchronize(&a).unwrap();
+        rt2.stream_synchronize(&b).unwrap();
+        assert!(rt2.now() < rt.now(), "independent streams should overlap");
+    }
+
+    #[test]
+    fn tracing_records_kernels_copies_and_syncs() {
+        let mut rt = testkit::single_gpu_runtime();
+        rt.enable_tracing();
+        let s = rt.default_stream(DeviceId(0)).unwrap();
+        let host = Buffer::pinned_host(NumaId(0), 1 << 20);
+        let dev = Buffer::device(DeviceId(0), 1 << 20);
+        rt.launch_empty(&s).unwrap();
+        rt.memcpy_async(&dev, &host, 4096, &s).unwrap();
+        rt.stream_synchronize(&s).unwrap();
+        let trace = rt.take_trace().expect("tracing was enabled");
+        assert!(trace.len() >= 4, "spans: {}", trace.len());
+        let json = trace.to_chrome_json();
+        assert!(json.contains("empty kernel"));
+        assert!(json.contains("memcpy 4096B"));
+        assert!(json.contains("stream sync"));
+        // Wire track named after the directed link.
+        assert!(json.contains("numa0 -> gpu0"));
+        // Tracing off by default and after take.
+        assert!(rt.take_trace().is_none());
+    }
+
+    #[test]
+    fn runs_are_reproducible_for_same_seed() {
+        let run = |seed: u64| {
+            let mut rt = testkit::single_gpu_runtime_with_seed(seed);
+            let s = rt.default_stream(DeviceId(0)).unwrap();
+            for _ in 0..50 {
+                rt.launch_empty(&s).unwrap();
+            }
+            rt.device_synchronize().unwrap();
+            rt.now()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

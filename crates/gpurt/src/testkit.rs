@@ -1,0 +1,104 @@
+//! Small ready-made runtimes for tests, doctests, and examples.
+//!
+//! These are deliberately *not* models of any paper machine — `doe-machines`
+//! owns those — just plausible hardware for exercising the API.
+
+use std::sync::Arc;
+
+use doe_gpusim::GpuModel;
+use doe_memmodel::MemDomainModel;
+use doe_simtime::SimDuration;
+use doe_topo::{DeviceId, LinkKind, NodeBuilder, NumaId, SocketId, Vertex};
+
+use crate::runtime::GpuRuntime;
+
+fn test_gpu_model() -> GpuModel {
+    let mut hbm = MemDomainModel::new("test HBM", 1200.0, 30.0);
+    hbm.sustained_efficiency = 0.85;
+    let mut m = GpuModel::new("TestGPU", hbm);
+    m.launch_overhead = SimDuration::from_us(2.0);
+    m.empty_kernel_time = SimDuration::from_us(2.5);
+    m.sync_overhead = SimDuration::from_us(1.0);
+    m.copy_setup_host = SimDuration::from_us(4.0);
+    m.copy_setup_peer = SimDuration::from_us(8.0);
+    m
+}
+
+/// One CPU socket with one GPU on PCIe4 ×16.
+pub fn single_gpu_runtime_with_seed(seed: u64) -> GpuRuntime {
+    let topo = NodeBuilder::new("testkit-single")
+        .socket("Test CPU")
+        .numa(SocketId(0))
+        .cores(NumaId(0), 16, 2)
+        .device("TestGPU", NumaId(0))
+        .link(
+            Vertex::Numa(NumaId(0)),
+            Vertex::Device(DeviceId(0)),
+            LinkKind::Pcie { gen: 4, lanes: 16 },
+            SimDuration::from_ns(500.0),
+            25.0,
+        )
+        .build()
+        .expect("testkit topology is valid");
+    GpuRuntime::new(Arc::new(topo), vec![test_gpu_model()], seed)
+}
+
+/// [`single_gpu_runtime_with_seed`] with a fixed seed.
+pub fn single_gpu_runtime() -> GpuRuntime {
+    single_gpu_runtime_with_seed(0xD0EB)
+}
+
+/// [`dual_gpu_runtime_with_seed`] with a fixed seed.
+pub fn dual_gpu_runtime() -> GpuRuntime {
+    dual_gpu_runtime_with_seed(0xD0EB)
+}
+
+/// Two GPUs with a direct NVLink plus per-GPU PCIe host links.
+pub fn dual_gpu_runtime_with_seed(seed: u64) -> GpuRuntime {
+    let topo = NodeBuilder::new("testkit-dual")
+        .socket("Test CPU")
+        .numa(SocketId(0))
+        .cores(NumaId(0), 16, 2)
+        .devices("TestGPU", NumaId(0), 2)
+        .link(
+            Vertex::Numa(NumaId(0)),
+            Vertex::Device(DeviceId(0)),
+            LinkKind::Pcie { gen: 4, lanes: 16 },
+            SimDuration::from_ns(500.0),
+            25.0,
+        )
+        .link(
+            Vertex::Numa(NumaId(0)),
+            Vertex::Device(DeviceId(1)),
+            LinkKind::Pcie { gen: 4, lanes: 16 },
+            SimDuration::from_ns(500.0),
+            25.0,
+        )
+        .link(
+            Vertex::Device(DeviceId(0)),
+            Vertex::Device(DeviceId(1)),
+            LinkKind::NvLink { gen: 3, bricks: 4 },
+            SimDuration::from_ns(700.0),
+            100.0,
+        )
+        .build()
+        .expect("testkit topology is valid");
+    GpuRuntime::new(
+        Arc::new(topo),
+        vec![test_gpu_model(), test_gpu_model()],
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testkit_runtimes_build() {
+        let rt = single_gpu_runtime();
+        assert_eq!(rt.topology().device_count(), 1);
+        let rt2 = dual_gpu_runtime();
+        assert_eq!(rt2.topology().device_count(), 2);
+    }
+}

@@ -1,0 +1,120 @@
+//! Stream-semantics fuzzing: arbitrary interleavings of launches, copies,
+//! and synchronizes across multiple streams must keep the runtime's
+//! invariants — a monotone host clock, in-order per-stream execution, and
+//! full determinism per seed.
+
+use doe_gpurt::{testkit, Buffer};
+use doe_simtime::SimTime;
+use doe_topo::{DeviceId, NumaId};
+use proptest::prelude::*;
+
+/// One fuzzed runtime operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Launch { stream: u8 },
+    CopyH2D { stream: u8, kib: u16 },
+    CopyD2D { stream: u8, kib: u16 },
+    StreamSync { stream: u8 },
+    DeviceSync,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    let one = prop_oneof![
+        (0u8..3).prop_map(|stream| Op::Launch { stream }),
+        (0u8..3, 1u16..512).prop_map(|(stream, kib)| Op::CopyH2D { stream, kib }),
+        (0u8..3, 1u16..512).prop_map(|(stream, kib)| Op::CopyD2D { stream, kib }),
+        (0u8..3).prop_map(|stream| Op::StreamSync { stream }),
+        Just(Op::DeviceSync),
+    ];
+    prop::collection::vec(one, 1..80)
+}
+
+fn run(seed: u64, script: &[Op]) -> SimTime {
+    let mut rt = testkit::dual_gpu_runtime_with_seed(seed);
+    let dev = DeviceId(0);
+    let mut streams = vec![rt.default_stream(dev).expect("default")];
+    streams.push(rt.create_stream(dev).expect("stream 1"));
+    streams.push(rt.create_stream(dev).expect("stream 2"));
+    let host = Buffer::pinned_host(NumaId(0), 1 << 20);
+    let d0 = Buffer::device(DeviceId(0), 1 << 20);
+    let d1 = Buffer::device(DeviceId(1), 1 << 20);
+
+    let mut last = rt.now();
+    for op in script {
+        match *op {
+            Op::Launch { stream } => {
+                rt.launch_empty(&streams[stream as usize]).expect("launch");
+            }
+            Op::CopyH2D { stream, kib } => {
+                rt.memcpy_async(&d0, &host, kib as u64 * 1024, &streams[stream as usize])
+                    .expect("h2d");
+            }
+            Op::CopyD2D { stream, kib } => {
+                rt.memcpy_async(&d1, &d0, kib as u64 * 1024, &streams[stream as usize])
+                    .expect("d2d");
+            }
+            Op::StreamSync { stream } => {
+                rt.stream_synchronize(&streams[stream as usize])
+                    .expect("sync");
+            }
+            Op::DeviceSync => rt.device_synchronize().expect("device sync"),
+        }
+        let now = rt.now();
+        assert!(now >= last, "host clock went backwards");
+        last = now;
+    }
+    rt.device_synchronize().expect("final sync");
+    rt.now()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any script executes without error and with a monotone host clock.
+    #[test]
+    fn scripts_execute_monotonically(script in ops(), seed in any::<u64>()) {
+        let t = run(seed, &script);
+        prop_assert!(t > SimTime::ZERO);
+    }
+
+    /// Bit-exact determinism: same seed, same script, same final time.
+    #[test]
+    fn scripts_are_deterministic(script in ops(), seed in any::<u64>()) {
+        prop_assert_eq!(run(seed, &script), run(seed, &script));
+    }
+
+    /// Work never disappears: a script with strictly more operations on
+    /// one stream never finishes earlier than its prefix.
+    #[test]
+    fn more_work_never_finishes_earlier(script in ops(), extra in 1usize..20) {
+        let t_prefix = run(7, &script);
+        let mut longer = script.clone();
+        for _ in 0..extra {
+            longer.push(Op::Launch { stream: 0 });
+        }
+        let t_longer = run(7, &longer);
+        prop_assert!(t_longer >= t_prefix);
+    }
+}
+
+/// Streams are independent: work on stream 1 does not delay an empty
+/// stream-2 synchronize (beyond the sync handshake itself).
+#[test]
+fn independent_streams_do_not_serialize() {
+    let mut rt = testkit::dual_gpu_runtime_with_seed(3);
+    let dev = DeviceId(0);
+    let s1 = rt.create_stream(dev).expect("s1");
+    let s2 = rt.create_stream(dev).expect("s2");
+    for _ in 0..50 {
+        rt.launch_empty(&s1).expect("launch");
+    }
+    let t0 = rt.now();
+    rt.stream_synchronize(&s2).expect("sync empty stream");
+    let cost = rt.now().since(t0);
+    let m = rt.model(dev).expect("model");
+    assert!(
+        cost <= m.stream_sync_overhead * 2,
+        "empty-stream sync waited for the busy stream: {cost}"
+    );
+    rt.device_synchronize().expect("drain");
+}

@@ -1,0 +1,20 @@
+//! Simulated GPU device: cost model and command-queue engine.
+//!
+//! Comm|Scope's measurements decompose GPU runtime operations into a handful
+//! of hardware/driver costs: the host-side **submit** path (kernel launch
+//! latency), the **synchronize** handshake (empty-queue wait), DMA engine
+//! **setup**, and the actual **transfer/execution** time. [`GpuModel`]
+//! parameterizes those costs per device model + driver stack (they differ
+//! sharply between CUDA 10/11 and ROCm — compare Polaris and Perlmutter in
+//! Table 6, identical hardware with different software and a 2× gap in
+//! device-to-device latency).
+//!
+//! [`Engine`] provides the in-order command-queue semantics shared by
+//! streams and copy engines: work enqueued at time *t* starts at
+//! `max(t, queue tail)` and completes after its duration.
+
+pub mod engine;
+pub mod model;
+
+pub use engine::Engine;
+pub use model::GpuModel;

@@ -1,0 +1,303 @@
+//! The five non-accelerator machines (Table 2), calibrated to Table 4.
+//!
+//! Calibration notes (all targets are Table 4 means):
+//!
+//! | Machine  | single | all    | peak        | on-socket | on-node |
+//! |----------|--------|--------|-------------|-----------|---------|
+//! | Trinity  | 12.36  | 347.28 | > 450       | 0.67 µs   | 0.99 µs |
+//! | Theta    | 18.76  | 119.72 | > 450       | 5.95 µs   | 6.25 µs |
+//! | Sawtooth | 13.06  | 238.70 | 281.50      | 0.48 µs   | 0.48 µs |
+//! | Eagle    | 13.45  | 208.24 | 255.97      | 0.17 µs   | 0.38 µs |
+//! | Manzano  | 15.27  | 234.86 | 281.50      | 0.32 µs   | 0.56 µs |
+//!
+//! * `per_core_bw` = the single-thread figure (single-core STREAM is
+//!   concurrency-limited, so it calibrates directly).
+//! * `sustained_efficiency × cache_mode_penalty = all / peak`.
+//! * On-socket latency = `send + shm + recv` overheads; on-node adds the
+//!   inter-socket hop (or, on Xeon Phi, the mesh distance to core N−1).
+
+use std::sync::Arc;
+
+use doe_memmodel::MemDomainModel;
+use doe_mpi::MpiConfig;
+use doe_simtime::{Jitter, SimDuration};
+use doe_topo::{LinkKind, NodeBuilder, NodeTopology, NumaId, SocketId, Vertex};
+
+use crate::machine::{Machine, MachineCategory};
+use crate::software::SoftwareEnv;
+
+fn us(x: f64) -> SimDuration {
+    SimDuration::from_us(x)
+}
+
+/// Nominal peak we assume for Intel's "> 450 GB/s" MCDRAM claim.
+const KNL_MCDRAM_PEAK: f64 = 485.0;
+
+/// A single-socket Knights Landing node in quad/cache mode: one NUMA
+/// domain, 4-way SMT.
+fn knl_topo(name: &str, cpu: &str, cores: u32) -> Arc<NodeTopology> {
+    Arc::new(
+        NodeBuilder::new(name)
+            .socket(cpu)
+            .numa(SocketId(0))
+            .cores(NumaId(0), cores, 4)
+            .build()
+            .expect("KNL topology is valid"),
+    )
+}
+
+/// A dual-socket Xeon node: one NUMA domain per socket, 2-way SMT, UPI
+/// between sockets.
+fn xeon_topo(
+    name: &str,
+    cpu: &str,
+    cores_per_socket: u32,
+    upi_latency: SimDuration,
+) -> Arc<NodeTopology> {
+    Arc::new(
+        NodeBuilder::new(name)
+            .socket(cpu)
+            .socket(cpu)
+            .numa(SocketId(0))
+            .numa(SocketId(1))
+            .cores(NumaId(0), cores_per_socket, 2)
+            .cores(NumaId(1), cores_per_socket, 2)
+            .link(
+                Vertex::Numa(NumaId(0)),
+                Vertex::Numa(NumaId(1)),
+                LinkKind::Upi,
+                upi_latency,
+                41.6,
+            )
+            .build()
+            .expect("Xeon topology is valid"),
+    )
+}
+
+pub(crate) fn host_mpi(
+    overhead_us: f64,
+    shm_us: f64,
+    mesh_us: f64,
+    shm_bw: f64,
+    jitter: f64,
+) -> MpiConfig {
+    let mut c = MpiConfig::default_host();
+    c.send_overhead = us(overhead_us);
+    c.recv_overhead = us(overhead_us);
+    c.shm_latency = us(shm_us);
+    c.shm_bandwidth = shm_bw;
+    c.intra_numa_distance = us(mesh_us);
+    c.jitter = Jitter::relative(jitter);
+    c
+}
+
+/// LANL Trinity — rank 29, Intel Xeon Phi 7250 (68 cores, quad cache).
+pub fn trinity() -> Machine {
+    // all/peak = 347.28 / 485 = 0.716 = 0.85 (DRAM eff) × 0.8424 (cache
+    // mode tax).
+    let mut mem = MemDomainModel::new("MCDRAM (quad cache)", KNL_MCDRAM_PEAK, 12.36);
+    mem.sustained_efficiency = 0.85;
+    mem.cache_mode_penalty = 0.8424;
+    Machine {
+        name: "Trinity",
+        top500_rank: 29,
+        location: "LANL",
+        cpu_model: "Intel Xeon Phi 7250",
+        accelerator_model: None,
+        category: MachineCategory::NonAccelerator,
+        topo: knl_topo("Trinity", "Intel Xeon Phi 7250", 68),
+        host_mem: mem,
+        host_peak_citation: "> 450 [34]",
+        host_stream_jitter: Jitter::relative(0.015),
+        gpu_models: Vec::new(),
+        device_peak_citation: None,
+        // 0.67 = 0.15 + 0.37 + 0.15; far pair adds the 0.32 µs mesh crossing.
+        mpi: host_mpi(0.15, 0.37, 0.32, 3.0, 0.012),
+        software: SoftwareEnv::host("intel/2022.0.2", "cray-mpich/7.7.20"),
+    }
+}
+
+/// ANL Theta — rank 94, Intel Xeon Phi 7230 (64 cores, quad cache).
+pub fn theta() -> Machine {
+    // The paper flags Theta's all-core figure as "suspiciously low"
+    // (119.72 GB/s on silicon that does 347 on Trinity) and cannot explain
+    // it; we reproduce the measurement via the cache-mode penalty:
+    // 119.72 / (485 × 0.85) = 0.2904.
+    let mut mem = MemDomainModel::new("MCDRAM (quad cache)", KNL_MCDRAM_PEAK, 18.76);
+    mem.sustained_efficiency = 0.85;
+    mem.cache_mode_penalty = 0.2904;
+    Machine {
+        name: "Theta",
+        top500_rank: 94,
+        location: "ANL",
+        cpu_model: "Intel Xeon Phi 7230",
+        accelerator_model: None,
+        category: MachineCategory::NonAccelerator,
+        topo: knl_topo("Theta", "Intel Xeon Phi 7230", 64),
+        host_mem: mem,
+        host_peak_citation: "> 450 [34]",
+        host_stream_jitter: Jitter::relative(0.006),
+        gpu_models: Vec::new(),
+        device_peak_citation: None,
+        // The 5.95 µs on-socket figure is the MPI software stack, not the
+        // fabric (ALCF's own benchmarks saw sub-5 µs; OSU saw 5.95).
+        mpi: host_mpi(1.50, 2.95, 0.30, 2.5, 0.004),
+        software: SoftwareEnv::host("intel/19.1.0.166", "cray-mpich/7.7.14"),
+    }
+}
+
+/// INL Sawtooth — rank 109, dual Intel Xeon Platinum 8268.
+pub fn sawtooth() -> Machine {
+    let mut mem = MemDomainModel::new("DDR4-2933 x12", 281.5, 13.06);
+    mem.sustained_efficiency = 238.70 / 281.5;
+    mem.llc_bytes = 2 * 35_750_000; // 35.75 MB L3 per 8268 socket
+    Machine {
+        name: "Sawtooth",
+        top500_rank: 109,
+        location: "INL",
+        cpu_model: "Intel Xeon Platinum 8268",
+        accelerator_model: None,
+        category: MachineCategory::NonAccelerator,
+        // Measured on-socket equals on-node (0.48/0.48): the UPI hop is
+        // invisible at this MPI stack's floor, so its latency is ~zero.
+        topo: xeon_topo(
+            "Sawtooth",
+            "Intel Xeon Platinum 8268",
+            24,
+            SimDuration::from_ns(1.0),
+        ),
+        host_mem: mem,
+        host_peak_citation: "281.50 [13]",
+        host_stream_jitter: Jitter::relative(0.033),
+        gpu_models: Vec::new(),
+        device_peak_citation: None,
+        mpi: host_mpi(0.11, 0.26, 0.0, 8.0, 0.02),
+        software: SoftwareEnv::host("intel/19.0.5", "intel-mpi/2019.0.117"),
+    }
+}
+
+/// NREL Eagle — rank 127, dual Intel Xeon Gold 6154.
+pub fn eagle() -> Machine {
+    let mut mem = MemDomainModel::new("DDR4-2666 x12", 255.97, 13.45);
+    mem.sustained_efficiency = 208.24 / 255.97;
+    mem.llc_bytes = 2 * 24_750_000; // 24.75 MB L3 per 6154 socket
+    Machine {
+        name: "Eagle",
+        top500_rank: 127,
+        location: "NREL",
+        cpu_model: "Intel Xeon Gold 6154",
+        accelerator_model: None,
+        category: MachineCategory::NonAccelerator,
+        // 0.38 − 0.17 = 0.21 µs UPI crossing.
+        topo: xeon_topo("Eagle", "Intel Xeon Gold 6154", 18, us(0.21)),
+        host_mem: mem,
+        host_peak_citation: "255.97 [12]",
+        host_stream_jitter: Jitter::relative(0.005),
+        gpu_models: Vec::new(),
+        device_peak_citation: None,
+        mpi: host_mpi(0.035, 0.10, 0.0, 9.0, 0.02),
+        software: SoftwareEnv::host("gcc/8.4.0", "openmpi/4.1.0"),
+    }
+}
+
+/// SNL Manzano — rank 141, dual Intel Xeon Platinum 8268.
+pub fn manzano() -> Machine {
+    let mut mem = MemDomainModel::new("DDR4-2933 x12", 281.5, 15.27);
+    mem.sustained_efficiency = 234.86 / 281.5;
+    mem.llc_bytes = 2 * 35_750_000;
+    Machine {
+        name: "Manzano",
+        top500_rank: 141,
+        location: "SNL",
+        cpu_model: "Intel Xeon Platinum 8268",
+        accelerator_model: None,
+        category: MachineCategory::NonAccelerator,
+        // 0.56 − 0.32 = 0.24 µs UPI crossing.
+        topo: xeon_topo("Manzano", "Intel Xeon Platinum 8268", 24, us(0.24)),
+        host_mem: mem,
+        host_peak_citation: "281.50 [13]",
+        host_stream_jitter: Jitter::relative(0.002),
+        gpu_models: Vec::new(),
+        device_peak_citation: None,
+        mpi: host_mpi(0.07, 0.18, 0.0, 8.0, 0.012),
+        software: SoftwareEnv::host("intel/16.0", "openmpi/1.10"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doe_memmodel::PlacementQuality;
+
+    #[test]
+    fn trinity_memory_targets() {
+        let m = trinity();
+        let single = m.host_mem.raw_sustained_bw(PlacementQuality::single());
+        assert!((single - 12.36).abs() < 0.01);
+        let all = m.host_mem.raw_sustained_bw(PlacementQuality::all_cores(68));
+        assert!((all - 347.28).abs() < 2.0, "all={all}");
+    }
+
+    #[test]
+    fn theta_reproduces_the_anomaly() {
+        let m = theta();
+        let all = m.host_mem.raw_sustained_bw(PlacementQuality::all_cores(64));
+        assert!((all - 119.72).abs() < 1.0, "all={all}");
+        // Same silicon family, wildly lower throughput than Trinity.
+        let trinity_all = trinity()
+            .host_mem
+            .raw_sustained_bw(PlacementQuality::all_cores(68));
+        assert!(trinity_all > 2.5 * all);
+    }
+
+    #[test]
+    fn xeon_all_core_targets() {
+        for (m, target, cores) in [
+            (sawtooth(), 238.70, 48),
+            (eagle(), 208.24, 36),
+            (manzano(), 234.86, 48),
+        ] {
+            let all = m
+                .host_mem
+                .raw_sustained_bw(PlacementQuality::all_cores(cores));
+            assert!((all - target).abs() < 1.0, "{}: all={all}", m.name);
+        }
+    }
+
+    #[test]
+    fn knl_machines_are_single_socket_smt4() {
+        for m in [trinity(), theta()] {
+            assert_eq!(m.topo.sockets.len(), 1);
+            assert_eq!(m.topo.hw_thread_count(), m.topo.core_count() * 4);
+        }
+    }
+
+    #[test]
+    fn xeon_machines_are_dual_socket_smt2() {
+        for m in [sawtooth(), eagle(), manzano()] {
+            assert_eq!(m.topo.sockets.len(), 2);
+            assert_eq!(m.topo.hw_thread_count(), m.topo.core_count() * 2);
+        }
+    }
+
+    #[test]
+    fn mpi_on_socket_components_sum_to_target() {
+        // o_s + shm + o_r must equal the paper's on-socket latency.
+        for (m, target) in [
+            (trinity(), 0.67),
+            (theta(), 5.95),
+            (sawtooth(), 0.48),
+            (eagle(), 0.17),
+            (manzano(), 0.32),
+        ] {
+            let total = m.mpi.send_overhead.as_us()
+                + m.mpi.shm_latency.as_us()
+                + m.mpi.recv_overhead.as_us();
+            assert!(
+                (total - target).abs() < 0.005,
+                "{}: {total} vs {target}",
+                m.name
+            );
+        }
+    }
+}

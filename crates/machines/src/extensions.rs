@@ -1,0 +1,206 @@
+//! Hypothetical non-Intel CPU design points — the paper's third
+//! future-work item.
+//!
+//! §5: *"we did not report results from any AMD or Arm CPU systems,
+//! because the US DOE does not have any within the Top 150. Comparing
+//! results between Intel, AMD and Arm CPU systems would be of interest in
+//! the future."*
+//!
+//! These machines are **not in the paper**; they are plausible design
+//! points built from public datasheets, provided so the suite can answer
+//! the comparison the authors call for. They live in their own registry
+//! ([`extension_machines`]) and never mix with the paper's thirteen.
+
+use doe_memmodel::MemDomainModel;
+use doe_simtime::{Jitter, SimDuration};
+use doe_topo::{LinkKind, NodeBuilder, NumaId, SocketId, Vertex};
+
+use crate::cpu::host_mpi;
+use crate::machine::{Machine, MachineCategory};
+use crate::software::SoftwareEnv;
+use std::sync::Arc;
+
+fn us(x: f64) -> SimDuration {
+    SimDuration::from_us(x)
+}
+
+/// A dual-socket AMD EPYC 7763 (Milan) node: 2×64 cores, 8 DDR4-3200
+/// channels per socket (409.6 GB/s node peak).
+pub fn epyc_milan() -> Machine {
+    let topo = Arc::new(
+        NodeBuilder::new("Milan-2S")
+            .socket("AMD EPYC 7763")
+            .socket("AMD EPYC 7763")
+            .numa(SocketId(0))
+            .numa(SocketId(1))
+            .cores(NumaId(0), 64, 2)
+            .cores(NumaId(1), 64, 2)
+            .link(
+                Vertex::Numa(NumaId(0)),
+                Vertex::Numa(NumaId(1)),
+                LinkKind::Gmi,
+                us(0.18),
+                36.0,
+            )
+            .build()
+            .expect("Milan topology is valid"),
+    );
+    let mut mem = MemDomainModel::new("DDR4-3200 x16", 409.6, 19.0);
+    mem.sustained_efficiency = 0.82;
+    mem.llc_bytes = 2 * 256 * 1024 * 1024; // 256 MB L3 per socket
+    mem.llc_bw_factor = 3.2;
+    Machine {
+        name: "Milan-2S",
+        top500_rank: 0,
+        location: "hypothetical",
+        cpu_model: "AMD EPYC 7763",
+        accelerator_model: None,
+        category: MachineCategory::NonAccelerator,
+        topo,
+        host_mem: mem,
+        host_peak_citation: "409.6 (datasheet)",
+        host_stream_jitter: Jitter::relative(0.01),
+        gpu_models: Vec::new(),
+        device_peak_citation: None,
+        mpi: host_mpi(0.08, 0.20, 0.0, 9.0, 0.015),
+        software: SoftwareEnv::host("gcc/12", "openmpi/4.1"),
+    }
+}
+
+/// A Fujitsu A64FX (Arm SVE) node: 48 cores in 4 core-memory-groups, HBM2
+/// at 1024 GB/s peak — the Fugaku design point, the opposite balance to a
+/// Xeon (enormous bandwidth per core).
+pub fn a64fx() -> Machine {
+    let mut b = NodeBuilder::new("A64FX").socket("Fujitsu A64FX");
+    for _ in 0..4 {
+        b = b.numa(SocketId(0));
+    }
+    for i in 0..4u32 {
+        b = b.cores(NumaId(i), 12, 1);
+    }
+    for i in 0..4u32 {
+        b = b.link(
+            Vertex::Numa(NumaId(i)),
+            Vertex::Numa(NumaId((i + 1) % 4)),
+            LinkKind::OnDie,
+            SimDuration::from_ns(80.0),
+            115.0,
+        );
+    }
+    let topo = Arc::new(b.build().expect("A64FX topology is valid"));
+    let mut mem = MemDomainModel::new("HBM2 32GB", 1024.0, 57.0);
+    mem.sustained_efficiency = 0.80; // ~820 GB/s measured STREAM on Fugaku
+    Machine {
+        name: "A64FX",
+        top500_rank: 0,
+        location: "hypothetical",
+        cpu_model: "Fujitsu A64FX",
+        accelerator_model: None,
+        category: MachineCategory::NonAccelerator,
+        topo,
+        host_mem: mem,
+        host_peak_citation: "1024 (datasheet)",
+        host_stream_jitter: Jitter::relative(0.01),
+        gpu_models: Vec::new(),
+        device_peak_citation: None,
+        mpi: host_mpi(0.20, 0.45, 0.15, 4.0, 0.015),
+        software: SoftwareEnv::host("fcc/4.8", "fujitsu-mpi/4.8"),
+    }
+}
+
+/// A dual-socket Intel Xeon Max 9480 node in HBM-only mode: 2×56 cores,
+/// 64 GB HBM2e per socket (~1.6 TB/s node peak) — the KNL lineage grown up.
+pub fn xeon_max_hbm() -> Machine {
+    let topo = Arc::new(
+        NodeBuilder::new("XeonMax-HBM")
+            .socket("Intel Xeon Max 9480")
+            .socket("Intel Xeon Max 9480")
+            .numa(SocketId(0))
+            .numa(SocketId(1))
+            .cores(NumaId(0), 56, 2)
+            .cores(NumaId(1), 56, 2)
+            .link(
+                Vertex::Numa(NumaId(0)),
+                Vertex::Numa(NumaId(1)),
+                LinkKind::Upi,
+                us(0.15),
+                48.0,
+            )
+            .build()
+            .expect("Xeon Max topology is valid"),
+    );
+    let mut mem = MemDomainModel::new("HBM2e 128GB", 1638.4, 23.0);
+    mem.sustained_efficiency = 0.62; // HBM-only mode sustains ~1 TB/s
+    Machine {
+        name: "XeonMax-HBM",
+        top500_rank: 0,
+        location: "hypothetical",
+        cpu_model: "Intel Xeon Max 9480",
+        accelerator_model: None,
+        category: MachineCategory::NonAccelerator,
+        topo,
+        host_mem: mem,
+        host_peak_citation: "1638.4 (datasheet)",
+        host_stream_jitter: Jitter::relative(0.012),
+        gpu_models: Vec::new(),
+        device_peak_citation: None,
+        mpi: host_mpi(0.07, 0.18, 0.0, 8.0, 0.015),
+        software: SoftwareEnv::host("intel/2023", "intel-mpi/2021"),
+    }
+}
+
+/// The extension registry — never mixed into [`crate::all_machines`].
+pub fn extension_machines() -> Vec<Machine> {
+    vec![epyc_milan(), a64fx(), xeon_max_hbm()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doe_memmodel::PlacementQuality;
+
+    #[test]
+    fn extensions_are_valid_and_separate() {
+        let ext = extension_machines();
+        assert_eq!(ext.len(), 3);
+        for m in &ext {
+            m.topo.validate().expect("valid topology");
+            m.mpi.validate().expect("valid mpi");
+            assert_eq!(m.top500_rank, 0, "{} must not claim a rank", m.name);
+            assert!(
+                crate::by_name(m.name).is_none(),
+                "{} leaked into the paper registry",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn balance_points_differ_as_advertised() {
+        let milan = epyc_milan();
+        let fx = a64fx();
+        let all_milan = milan
+            .host_mem
+            .raw_sustained_bw(PlacementQuality::all_cores(128));
+        let all_fx = fx
+            .host_mem
+            .raw_sustained_bw(PlacementQuality::all_cores(48));
+        // A64FX: far more bandwidth from far fewer cores.
+        assert!(all_fx > 2.0 * all_milan);
+        assert!(fx.topo.core_count() < milan.topo.core_count() / 2);
+        // Per-core balance: A64FX single-thread streams much harder.
+        let single_fx = fx.host_mem.raw_sustained_bw(PlacementQuality::single());
+        let single_milan = milan.host_mem.raw_sustained_bw(PlacementQuality::single());
+        assert!(single_fx > 2.0 * single_milan);
+    }
+
+    #[test]
+    fn xeon_max_outruns_every_paper_cpu() {
+        let max = xeon_max_hbm();
+        let all = max
+            .host_mem
+            .raw_sustained_bw(PlacementQuality::all_cores(112));
+        // Trinity's 347 GB/s was the paper's best CPU figure.
+        assert!(all > 900.0, "all={all}");
+    }
+}

@@ -1,0 +1,202 @@
+//! Models of the 13 US DOE systems the paper benchmarks.
+//!
+//! Every machine carries:
+//!
+//! * the **node topology** of Figures 1–3 (sockets, NUMA domains, cores,
+//!   devices, typed links),
+//! * a **host memory model** (Table 4's bandwidth columns),
+//! * **GPU cost models** per device (Tables 5–6),
+//! * an **MPI implementation model** (Tables 4–5's latency columns), and
+//! * the **software environment** of Tables 8–9.
+//!
+//! Parameters are calibrated against the paper's published means; each
+//! constructor's comments derive the constants from the table values, and
+//! [`paper`] embeds the reference numbers so calibration tests and the
+//! report generator can compare simulated output with the publication.
+//!
+//! # Example
+//!
+//! ```
+//! let frontier = doe_machines::by_name("Frontier").expect("known machine");
+//! assert_eq!(frontier.top500_rank, 1);
+//! assert_eq!(frontier.topo.device_count(), 8); // 4 MI250X = 8 GCDs
+//! assert!(frontier.topo.uses_infinity_fabric());
+//! ```
+
+pub mod amd;
+pub mod cpu;
+pub mod extensions;
+pub mod machine;
+pub mod nvidia;
+pub mod paper;
+pub mod software;
+
+pub use machine::{Machine, MachineCategory};
+pub use software::SoftwareEnv;
+
+/// All 13 machines, ordered by June 2023 Top500 rank.
+pub fn all_machines() -> Vec<Machine> {
+    let mut v = vec![
+        amd::frontier(),
+        nvidia::summit(),
+        nvidia::sierra(),
+        nvidia::perlmutter(),
+        nvidia::polaris(),
+        cpu::trinity(),
+        nvidia::lassen(),
+        cpu::theta(),
+        cpu::sawtooth(),
+        amd::rzvernal(),
+        cpu::eagle(),
+        amd::tioga(),
+        cpu::manzano(),
+    ];
+    v.sort_by_key(|m| m.top500_rank);
+    v
+}
+
+/// The non-accelerator machines (Table 2 / Table 4), by rank.
+pub fn cpu_machines() -> Vec<Machine> {
+    all_machines()
+        .into_iter()
+        .filter(|m| m.category == MachineCategory::NonAccelerator)
+        .collect()
+}
+
+/// The accelerator machines (Table 3 / Tables 5–6), by rank.
+pub fn gpu_machines() -> Vec<Machine> {
+    all_machines()
+        .into_iter()
+        .filter(|m| m.category == MachineCategory::Accelerator)
+        .collect()
+}
+
+/// Look a machine up by (case-insensitive) name.
+pub fn by_name(name: &str) -> Option<Machine> {
+    all_machines()
+        .into_iter()
+        .find(|m| m.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_thirteen_machines() {
+        assert_eq!(all_machines().len(), 13);
+        assert_eq!(cpu_machines().len(), 5);
+        assert_eq!(gpu_machines().len(), 8);
+    }
+
+    #[test]
+    fn machines_are_ordered_by_rank() {
+        let ranks: Vec<u32> = all_machines().iter().map(|m| m.top500_rank).collect();
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        assert_eq!(ranks, sorted);
+        assert_eq!(ranks[0], 1); // Frontier
+        assert_eq!(*ranks.last().unwrap(), 141); // Manzano
+    }
+
+    #[test]
+    fn every_topology_is_valid() {
+        for m in all_machines() {
+            m.topo
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: invalid topology: {e}", m.name));
+        }
+    }
+
+    #[test]
+    fn every_mpi_config_is_valid() {
+        for m in all_machines() {
+            m.mpi
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: invalid MPI config: {e}", m.name));
+        }
+    }
+
+    #[test]
+    fn every_gpu_model_is_valid() {
+        for m in gpu_machines() {
+            for g in &m.gpu_models {
+                g.validate()
+                    .unwrap_or_else(|e| panic!("{}: invalid GPU model: {e}", m.name));
+            }
+        }
+        for m in crate::extensions::extension_machines() {
+            for g in &m.gpu_models {
+                g.validate().expect("extension GPU model valid");
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_machines_have_models_per_device() {
+        for m in gpu_machines() {
+            assert_eq!(
+                m.gpu_models.len(),
+                m.topo.device_count(),
+                "{}: model/device count mismatch",
+                m.name
+            );
+            assert!(m.topo.device_count() > 0);
+        }
+    }
+
+    #[test]
+    fn cpu_machines_have_no_devices() {
+        for m in cpu_machines() {
+            assert_eq!(m.topo.device_count(), 0, "{}", m.name);
+            assert!(m.gpu_models.is_empty());
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(by_name("frontier").is_some());
+        assert!(by_name("FRONTIER").is_some());
+        assert!(by_name("Perlmutter").is_some());
+        assert!(by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn mi250x_machines_expose_all_four_classes() {
+        for name in ["Frontier", "RZVernal", "Tioga"] {
+            let m = by_name(name).expect("exists");
+            let classes = m.topo.present_classes();
+            assert_eq!(classes.len(), 4, "{name}: classes {classes:?}");
+        }
+    }
+
+    #[test]
+    fn nvlink_machines_expose_expected_classes() {
+        for name in ["Summit", "Sierra", "Lassen"] {
+            let m = by_name(name).expect("exists");
+            assert_eq!(m.topo.present_classes().len(), 2, "{name}");
+        }
+        for name in ["Perlmutter", "Polaris"] {
+            let m = by_name(name).expect("exists");
+            assert_eq!(m.topo.present_classes().len(), 1, "{name}");
+        }
+    }
+
+    #[test]
+    fn core_counts_match_the_hardware() {
+        assert_eq!(by_name("Trinity").unwrap().topo.core_count(), 68);
+        assert_eq!(by_name("Theta").unwrap().topo.core_count(), 64);
+        assert_eq!(by_name("Sawtooth").unwrap().topo.core_count(), 48);
+        assert_eq!(by_name("Eagle").unwrap().topo.core_count(), 36);
+        assert_eq!(by_name("Manzano").unwrap().topo.core_count(), 48);
+    }
+
+    #[test]
+    fn summit_has_six_gpus_sierra_and_lassen_four() {
+        assert_eq!(by_name("Summit").unwrap().topo.device_count(), 6);
+        assert_eq!(by_name("Sierra").unwrap().topo.device_count(), 4);
+        assert_eq!(by_name("Lassen").unwrap().topo.device_count(), 4);
+        assert_eq!(by_name("Perlmutter").unwrap().topo.device_count(), 4);
+        assert_eq!(by_name("Polaris").unwrap().topo.device_count(), 4);
+    }
+}

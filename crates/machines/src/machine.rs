@@ -1,0 +1,82 @@
+//! The machine record tying all subsystem models together.
+
+use std::sync::Arc;
+
+use doe_gpusim::GpuModel;
+use doe_memmodel::MemDomainModel;
+use doe_mpi::MpiConfig;
+use doe_simtime::Jitter;
+use doe_topo::NodeTopology;
+
+use crate::software::SoftwareEnv;
+
+/// Accelerated or not — the paper's Table 2 / Table 3 split.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MachineCategory {
+    /// CPU-only or self-hosted Xeon Phi (Table 2).
+    NonAccelerator,
+    /// GPU-accelerated (Table 3).
+    Accelerator,
+}
+
+/// A fully-parameterized model of one DOE system's node.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    /// Machine name as the Top500 lists it.
+    pub name: &'static str,
+    /// June 2023 Top500 rank.
+    pub top500_rank: u32,
+    /// Hosting laboratory.
+    pub location: &'static str,
+    /// CPU marketing name (Tables 2–3).
+    pub cpu_model: &'static str,
+    /// Accelerator marketing name, if any (Table 3).
+    pub accelerator_model: Option<&'static str>,
+    /// Table 2/3 category.
+    pub category: MachineCategory,
+    /// Node topology (Figures 1–3).
+    pub topo: Arc<NodeTopology>,
+    /// Host memory model (Table 4 columns for CPU machines).
+    pub host_mem: MemDomainModel,
+    /// The paper's "Peak" citation string for host memory (e.g. `"281.50 [13]"`).
+    pub host_peak_citation: &'static str,
+    /// Run-to-run jitter of host BabelStream runs.
+    pub host_stream_jitter: Jitter,
+    /// One GPU cost model per device, in device-id order.
+    pub gpu_models: Vec<GpuModel>,
+    /// The paper's "Peak" citation string for device memory (Table 5).
+    pub device_peak_citation: Option<&'static str>,
+    /// MPI implementation model.
+    pub mpi: MpiConfig,
+    /// Compiler / device library / MPI versions (Tables 8–9).
+    pub software: SoftwareEnv,
+}
+
+impl Machine {
+    /// True for accelerator machines.
+    pub fn is_accelerated(&self) -> bool {
+        self.category == MachineCategory::Accelerator
+    }
+
+    /// `"<rank>. <name>"` as the paper's tables label rows.
+    pub fn table_label(&self) -> String {
+        format!("{}. {}", self.top500_rank, self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::by_name;
+
+    #[test]
+    fn table_label_matches_paper_style() {
+        assert_eq!(by_name("Frontier").unwrap().table_label(), "1. Frontier");
+        assert_eq!(by_name("Manzano").unwrap().table_label(), "141. Manzano");
+    }
+
+    #[test]
+    fn accelerator_flag_matches_category() {
+        assert!(by_name("Summit").unwrap().is_accelerated());
+        assert!(!by_name("Theta").unwrap().is_accelerated());
+    }
+}

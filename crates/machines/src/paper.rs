@@ -1,0 +1,321 @@
+//! The paper's published reference values (Tables 4, 5, 6), used by
+//! calibration tests and the paper-vs-measured comparison in the report
+//! generator.
+//!
+//! Values are `(mean, std)` exactly as printed.
+
+/// One row of Table 4 (non-accelerator machines).
+#[derive(Clone, Copy, Debug)]
+pub struct Table4Row {
+    /// Machine name.
+    pub machine: &'static str,
+    /// Single-thread memory bandwidth, GB/s.
+    pub single: (f64, f64),
+    /// All-thread memory bandwidth, GB/s.
+    pub all: (f64, f64),
+    /// The "Peak" column as printed.
+    pub peak: &'static str,
+    /// On-socket MPI latency, µs.
+    pub on_socket: (f64, f64),
+    /// On-node MPI latency, µs.
+    pub on_node: (f64, f64),
+}
+
+/// Table 4 of the paper.
+pub const TABLE4: [Table4Row; 5] = [
+    Table4Row {
+        machine: "Trinity",
+        single: (12.36, 0.16),
+        all: (347.28, 5.76),
+        peak: "> 450 [34]",
+        on_socket: (0.67, 0.01),
+        on_node: (0.99, 0.01),
+    },
+    Table4Row {
+        machine: "Theta",
+        single: (18.76, 0.58),
+        all: (119.72, 0.54),
+        peak: "> 450 [34]",
+        on_socket: (5.95, 0.01),
+        on_node: (6.25, 0.05),
+    },
+    Table4Row {
+        machine: "Sawtooth",
+        single: (13.06, 0.35),
+        all: (238.70, 8.39),
+        peak: "281.50 [13]",
+        on_socket: (0.48, 0.01),
+        on_node: (0.48, 0.01),
+    },
+    Table4Row {
+        machine: "Eagle",
+        single: (13.45, 0.03),
+        all: (208.24, 0.92),
+        peak: "255.97 [12]",
+        on_socket: (0.17, 0.00),
+        on_node: (0.38, 0.01),
+    },
+    Table4Row {
+        machine: "Manzano",
+        single: (15.27, 0.05),
+        all: (234.86, 0.12),
+        peak: "281.50 [13]",
+        on_socket: (0.32, 0.00),
+        on_node: (0.56, 0.01),
+    },
+];
+
+/// One row of Table 5 (accelerator machines: BabelStream + OSU).
+#[derive(Clone, Copy, Debug)]
+pub struct Table5Row {
+    /// Machine name.
+    pub machine: &'static str,
+    /// Device memory bandwidth, GB/s.
+    pub device_bw: (f64, f64),
+    /// The "Peak" column as printed.
+    pub peak: &'static str,
+    /// Host-to-host MPI latency, µs.
+    pub host_to_host: (f64, f64),
+    /// Device-to-device MPI latency per class A–D, µs.
+    pub d2d: [Option<(f64, f64)>; 4],
+}
+
+/// Table 5 of the paper.
+pub const TABLE5: [Table5Row; 8] = [
+    Table5Row {
+        machine: "Frontier",
+        device_bw: (1336.35, 1.11),
+        peak: "1600 [4]",
+        host_to_host: (0.45, 0.01),
+        d2d: [
+            Some((0.44, 0.00)),
+            Some((0.44, 0.00)),
+            Some((0.44, 0.00)),
+            Some((0.44, 0.00)),
+        ],
+    },
+    Table5Row {
+        machine: "Summit",
+        device_bw: (786.43, 0.11),
+        peak: "900 [1]",
+        host_to_host: (0.34, 0.07),
+        d2d: [Some((18.10, 0.22)), Some((19.30, 0.15)), None, None],
+    },
+    Table5Row {
+        machine: "Sierra",
+        device_bw: (861.40, 0.65),
+        peak: "900 [1]",
+        host_to_host: (0.38, 0.01),
+        d2d: [Some((18.72, 0.12)), Some((19.76, 0.37)), None, None],
+    },
+    Table5Row {
+        machine: "Perlmutter",
+        device_bw: (1363.74, 0.23),
+        peak: "1555.2 [3]",
+        host_to_host: (0.46, 0.06),
+        d2d: [Some((13.50, 0.13)), None, None, None],
+    },
+    Table5Row {
+        machine: "Polaris",
+        device_bw: (1362.75, 0.17),
+        peak: "1555.2 [3]",
+        host_to_host: (0.21, 0.00),
+        d2d: [Some((10.42, 0.03)), None, None, None],
+    },
+    Table5Row {
+        machine: "Lassen",
+        device_bw: (861.03, 0.53),
+        peak: "900 [1]",
+        host_to_host: (0.37, 0.00),
+        d2d: [Some((18.68, 0.20)), Some((19.72, 0.13)), None, None],
+    },
+    Table5Row {
+        machine: "RZVernal",
+        device_bw: (1291.38, 0.77),
+        peak: "1600 [4]",
+        host_to_host: (0.49, 0.00),
+        d2d: [
+            Some((0.50, 0.01)),
+            Some((0.50, 0.01)),
+            Some((0.50, 0.00)),
+            Some((0.49, 0.01)),
+        ],
+    },
+    Table5Row {
+        machine: "Tioga",
+        device_bw: (1336.81, 0.97),
+        peak: "1600 [4]",
+        host_to_host: (0.49, 0.00),
+        d2d: [
+            Some((0.50, 0.00)),
+            Some((0.50, 0.00)),
+            Some((0.50, 0.00)),
+            Some((0.49, 0.01)),
+        ],
+    },
+];
+
+/// One row of Table 6 (Comm|Scope).
+#[derive(Clone, Copy, Debug)]
+pub struct Table6Row {
+    /// Machine name.
+    pub machine: &'static str,
+    /// Kernel launch latency, µs.
+    pub launch: (f64, f64),
+    /// Empty-queue wait latency, µs.
+    pub wait: (f64, f64),
+    /// (H→D + D→H)/2 latency, µs.
+    pub hd_latency: (f64, f64),
+    /// (H→D + D→H)/2 bandwidth, GB/s.
+    pub hd_bandwidth: (f64, f64),
+    /// D2D latency per class A–D, µs.
+    pub d2d: [Option<(f64, f64)>; 4],
+}
+
+/// Table 6 of the paper.
+pub const TABLE6: [Table6Row; 8] = [
+    Table6Row {
+        machine: "Frontier",
+        launch: (1.51, 0.00),
+        wait: (0.14, 0.00),
+        hd_latency: (12.91, 0.02),
+        hd_bandwidth: (24.87, 0.01),
+        d2d: [
+            Some((12.02, 0.05)),
+            Some((12.56, 0.03)),
+            Some((12.68, 0.02)),
+            Some((12.02, 0.10)),
+        ],
+    },
+    Table6Row {
+        machine: "Summit",
+        launch: (4.84, 0.01),
+        wait: (4.31, 0.01),
+        hd_latency: (7.82, 0.07),
+        hd_bandwidth: (44.88, 0.00),
+        d2d: [Some((24.97, 0.16)), Some((27.44, 0.14)), None, None],
+    },
+    Table6Row {
+        machine: "Sierra",
+        launch: (4.13, 0.01),
+        wait: (5.59, 0.02),
+        hd_latency: (7.27, 0.23),
+        hd_bandwidth: (63.40, 0.01),
+        d2d: [Some((23.91, 0.16)), Some((27.70, 0.12)), None, None],
+    },
+    Table6Row {
+        machine: "Perlmutter",
+        launch: (1.77, 0.01),
+        wait: (0.98, 0.00),
+        hd_latency: (4.24, 0.01),
+        hd_bandwidth: (24.74, 0.00),
+        d2d: [Some((14.74, 0.41)), None, None, None],
+    },
+    Table6Row {
+        machine: "Polaris",
+        launch: (1.83, 0.00),
+        wait: (1.32, 0.01),
+        hd_latency: (5.33, 0.02),
+        hd_bandwidth: (23.71, 0.00),
+        d2d: [Some((32.84, 0.30)), None, None, None],
+    },
+    Table6Row {
+        machine: "Lassen",
+        launch: (4.56, 0.00),
+        wait: (5.52, 0.01),
+        hd_latency: (7.76, 0.32),
+        hd_bandwidth: (63.34, 0.02),
+        d2d: [Some((24.56, 0.28)), Some((27.69, 0.10)), None, None],
+    },
+    Table6Row {
+        machine: "RZVernal",
+        launch: (2.16, 0.01),
+        wait: (0.12, 0.00),
+        hd_latency: (12.20, 0.07),
+        hd_bandwidth: (24.88, 0.00),
+        d2d: [
+            Some((9.85, 0.01)),
+            Some((12.58, 0.00)),
+            Some((12.45, 0.02)),
+            Some((10.21, 0.01)),
+        ],
+    },
+    Table6Row {
+        machine: "Tioga",
+        launch: (2.15, 0.01),
+        wait: (0.12, 0.00),
+        hd_latency: (12.19, 0.04),
+        hd_bandwidth: (24.88, 0.00),
+        d2d: [
+            Some((9.85, 0.02)),
+            Some((12.59, 0.01)),
+            Some((12.46, 0.01)),
+            Some((10.12, 0.02)),
+        ],
+    },
+];
+
+/// Reference row lookup by machine name.
+pub fn table4_row(machine: &str) -> Option<&'static Table4Row> {
+    TABLE4
+        .iter()
+        .find(|r| r.machine.eq_ignore_ascii_case(machine))
+}
+
+/// Reference row lookup by machine name.
+pub fn table5_row(machine: &str) -> Option<&'static Table5Row> {
+    TABLE5
+        .iter()
+        .find(|r| r.machine.eq_ignore_ascii_case(machine))
+}
+
+/// Reference row lookup by machine name.
+pub fn table6_row(machine: &str) -> Option<&'static Table6Row> {
+    TABLE6
+        .iter()
+        .find(|r| r.machine.eq_ignore_ascii_case(machine))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cpu_machines, gpu_machines};
+
+    #[test]
+    fn every_machine_has_its_reference_rows() {
+        for m in cpu_machines() {
+            assert!(table4_row(m.name).is_some(), "{}", m.name);
+        }
+        for m in gpu_machines() {
+            assert!(table5_row(m.name).is_some(), "{}", m.name);
+            assert!(table6_row(m.name).is_some(), "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn class_columns_match_topology_classes() {
+        for m in gpu_machines() {
+            let present = m.topo.present_classes().len();
+            let t5 = table5_row(m.name).unwrap();
+            let published = t5.d2d.iter().flatten().count();
+            assert_eq!(present, published, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn summary_ranges_of_table7_hold_in_reference_data() {
+        // Table 7 is derived from Tables 5-6; sanity-check two headline
+        // ranges straight from the reference data.
+        let v100_bw: Vec<f64> = ["Summit", "Sierra", "Lassen"]
+            .iter()
+            .map(|m| table5_row(m).unwrap().device_bw.0)
+            .collect();
+        assert!(v100_bw.iter().cloned().fold(f64::MAX, f64::min) >= 786.43);
+        assert!(v100_bw.iter().cloned().fold(f64::MIN, f64::max) <= 861.40);
+        let mi_lat: Vec<f64> = ["Frontier", "RZVernal", "Tioga"]
+            .iter()
+            .flat_map(|m| table5_row(m).unwrap().d2d.iter().flatten().map(|v| v.0))
+            .collect();
+        assert!(mi_lat.iter().all(|&v| v < 1.0));
+    }
+}

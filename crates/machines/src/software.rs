@@ -1,0 +1,63 @@
+//! Software environments (Tables 8 and 9 of the paper).
+
+/// Compiler, device library, and MPI versions used on a machine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SoftwareEnv {
+    /// Compiler module (e.g. `intel/2022.0.2`, `gcc/11.2.0`).
+    pub compiler: &'static str,
+    /// Device library module, for accelerator machines (e.g. `cuda/11.7`).
+    pub device_library: Option<&'static str>,
+    /// MPI module (e.g. `cray-mpich/8.1.25`).
+    pub mpi: &'static str,
+}
+
+impl SoftwareEnv {
+    /// A host-only environment (Table 8 rows).
+    pub fn host(compiler: &'static str, mpi: &'static str) -> Self {
+        SoftwareEnv {
+            compiler,
+            device_library: None,
+            mpi,
+        }
+    }
+
+    /// An accelerator environment (Table 9 rows).
+    pub fn device(compiler: &'static str, device_library: &'static str, mpi: &'static str) -> Self {
+        SoftwareEnv {
+            compiler,
+            device_library: Some(device_library),
+            mpi,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::by_name;
+
+    #[test]
+    fn constructors_populate_fields() {
+        let h = SoftwareEnv::host("gcc/8.4.0", "openmpi/4.1.0");
+        assert_eq!(h.device_library, None);
+        let d = SoftwareEnv::device("gcc/11.2.0", "cuda/11.7", "cray-mpich/8.1.25");
+        assert_eq!(d.device_library, Some("cuda/11.7"));
+    }
+
+    #[test]
+    fn table8_and_table9_entries_match_paper() {
+        // Spot checks straight from the appendix tables.
+        assert_eq!(
+            by_name("Trinity").unwrap().software,
+            SoftwareEnv::host("intel/2022.0.2", "cray-mpich/7.7.20")
+        );
+        assert_eq!(
+            by_name("Perlmutter").unwrap().software,
+            SoftwareEnv::device("gcc/11.2.0", "cuda/11.7", "cray-mpich/8.1.25")
+        );
+        assert_eq!(
+            by_name("Frontier").unwrap().software,
+            SoftwareEnv::device("amd-mixed/5.3.0", "amd-mixed/5.3.0", "cray-mpich/8.1.23")
+        );
+    }
+}

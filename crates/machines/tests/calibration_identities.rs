@@ -1,0 +1,136 @@
+//! Cost-decomposition identities: every machine's Comm|Scope-visible
+//! figures must reassemble exactly from its model parameters, per the
+//! derivations written in the constructors' comments. These tests pin the
+//! calibration algebra itself (independent of the benchmark drivers), so a
+//! refactor of any runtime cannot silently shift a table.
+
+use doe_machines::{gpu_machines, paper, Machine};
+use doe_topo::{LinkClass, Vertex};
+
+fn hd_identity(m: &Machine) -> f64 {
+    let model = &m.gpu_models[0];
+    let dev = m.topo.devices[0].id;
+    let numa = m.topo.device(dev).expect("device").local_numa;
+    let host_link = m
+        .topo
+        .direct_link(Vertex::Numa(numa), Vertex::Device(dev))
+        .expect("host link");
+    model.launch_overhead.as_us()
+        + model.copy_setup_host.as_us()
+        + host_link.latency.as_us()
+        + model.stream_sync_overhead.as_us()
+}
+
+#[test]
+fn hd_latency_reassembles_from_parameters() {
+    for m in gpu_machines() {
+        let p = paper::table6_row(m.name).expect("reference");
+        let identity = hd_identity(&m);
+        assert!(
+            (identity - p.hd_latency.0).abs() < 0.02,
+            "{}: launch+setup+link+sync = {identity:.3}, paper {}",
+            m.name,
+            p.hd_latency.0
+        );
+    }
+}
+
+#[test]
+fn launch_and_wait_are_direct_parameters() {
+    for m in gpu_machines() {
+        let p = paper::table6_row(m.name).expect("reference");
+        let model = &m.gpu_models[0];
+        assert!(
+            (model.launch_overhead.as_us() - p.launch.0).abs() < 0.005,
+            "{}: launch",
+            m.name
+        );
+        assert!(
+            (model.sync_overhead.as_us() - p.wait.0).abs() < 0.005,
+            "{}: wait",
+            m.name
+        );
+    }
+}
+
+#[test]
+fn class_a_d2d_reassembles_from_parameters() {
+    for m in gpu_machines() {
+        let p = paper::table6_row(m.name).expect("reference");
+        let Some((a_mean, _)) = p.d2d[0] else {
+            continue;
+        };
+        let model = &m.gpu_models[0];
+        let (da, db) = m.topo.representative_pairs()[&LinkClass::A];
+        let link = m
+            .topo
+            .direct_link(Vertex::Device(da), Vertex::Device(db))
+            .expect("class A is a direct link");
+        let identity = model.launch_overhead.as_us()
+            + model.copy_setup_peer.as_us()
+            + link.latency.as_us()
+            + model.stream_sync_overhead.as_us();
+        assert!(
+            (identity - a_mean).abs() < 0.03,
+            "{}: A-class identity {identity:.3} vs paper {a_mean}",
+            m.name
+        );
+    }
+}
+
+#[test]
+fn host_link_bandwidth_matches_published_hd_bandwidth() {
+    for m in gpu_machines() {
+        let p = paper::table6_row(m.name).expect("reference");
+        let dev = m.topo.devices[0].id;
+        let numa = m.topo.device(dev).expect("device").local_numa;
+        let link = m
+            .topo
+            .direct_link(Vertex::Numa(numa), Vertex::Device(dev))
+            .expect("host link");
+        let rel = (link.bandwidth_gb_s - p.hd_bandwidth.0).abs() / p.hd_bandwidth.0;
+        assert!(
+            rel < 0.01,
+            "{}: host link {} vs paper {}",
+            m.name,
+            link.bandwidth_gb_s,
+            p.hd_bandwidth.0
+        );
+    }
+}
+
+#[test]
+fn mi250x_rma_mpi_reassembles_from_parameters() {
+    use doe_mpi::DevicePath;
+    for m in gpu_machines() {
+        let DevicePath::Rma { extra_overhead } = m.mpi.device_path else {
+            continue;
+        };
+        let p = paper::table5_row(m.name).expect("reference");
+        let Some((a_mean, _)) = p.d2d[0] else {
+            continue;
+        };
+        let identity =
+            m.mpi.send_overhead.as_us() + extra_overhead.as_us() + m.mpi.recv_overhead.as_us();
+        assert!(
+            (identity - a_mean).abs() < 0.02,
+            "{}: RMA identity {identity:.3} vs paper {a_mean}",
+            m.name
+        );
+    }
+}
+
+#[test]
+fn host_mpi_reassembles_from_parameters() {
+    for m in gpu_machines() {
+        let p = paper::table5_row(m.name).expect("reference");
+        let identity =
+            m.mpi.send_overhead.as_us() + m.mpi.shm_latency.as_us() + m.mpi.recv_overhead.as_us();
+        assert!(
+            (identity - p.host_to_host.0).abs() < 0.01,
+            "{}: H2H identity {identity:.3} vs paper {}",
+            m.name,
+            p.host_to_host.0
+        );
+    }
+}

@@ -1,0 +1,329 @@
+//! The memory-domain bandwidth model.
+
+use doe_simtime::SimDuration;
+
+use crate::stream::StreamOp;
+
+/// How a set of benchmark threads landed on the domain's cores.
+///
+/// Produced by the OpenMP runtime from the `OMP_*` environment combination
+/// (Table 1 of the paper); consumed here to derive achieved bandwidth.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlacementQuality {
+    /// Distinct physical cores actually used.
+    pub cores_used: u32,
+    /// Total software threads (may exceed `cores_used` under SMT).
+    pub threads: u32,
+    /// Whether threads were pinned (`OMP_PROC_BIND` set).
+    pub bound: bool,
+}
+
+impl PlacementQuality {
+    /// A single bound thread on one core.
+    pub fn single() -> Self {
+        PlacementQuality {
+            cores_used: 1,
+            threads: 1,
+            bound: true,
+        }
+    }
+
+    /// All of `cores` used, one bound thread each.
+    pub fn all_cores(cores: u32) -> Self {
+        PlacementQuality {
+            cores_used: cores,
+            threads: cores,
+            bound: true,
+        }
+    }
+}
+
+/// Sustained-bandwidth model for one memory domain (host DDR4, MCDRAM, or
+/// device HBM).
+///
+/// All bandwidths are GB/s decimal, matching the paper's tables.
+#[derive(Clone, Debug)]
+pub struct MemDomainModel {
+    /// Human-readable description (e.g. "DDR4-2933 x12", "HBM2e 40GB").
+    pub name: String,
+    /// Theoretical peak bandwidth — the "Peak" column of Tables 4/5.
+    pub peak_bw_gb_s: f64,
+    /// Fraction of peak sustainable by an all-core streaming workload.
+    pub sustained_efficiency: f64,
+    /// Concurrency-limited bandwidth of a single core (GB/s).
+    pub per_core_bw_gb_s: f64,
+    /// Idle access latency.
+    pub latency: SimDuration,
+    /// True if streaming stores bypass write-allocate (non-temporal stores);
+    /// GPUs and well-compiled STREAM binaries behave this way.
+    pub nt_stores: bool,
+    /// Multiplier (≤ 1) for cache-mode overheads (KNL quad-cache; carries
+    /// Theta's anomalous degradation — see DESIGN.md "Known deviations").
+    pub cache_mode_penalty: f64,
+    /// Multiplier (≤ 1) applied when threads are not pinned.
+    pub unbound_efficiency: f64,
+    /// Multiplier (≤ 1) applied when SMT oversubscribes cores.
+    pub smt_penalty: f64,
+    /// Small per-op efficiency adjustments indexed by [`StreamOp::ALL`]
+    /// order (Copy, Mul, Add, Triad, Dot).
+    pub op_efficiency: [f64; 5],
+    /// Last-level-cache capacity in bytes; `0` disables cache modelling.
+    /// When a kernel's working set fits, bandwidth scales by
+    /// [`MemDomainModel::llc_bw_factor`] — the cache cliff visible in any
+    /// real STREAM size sweep below ~L3 capacity.
+    pub llc_bytes: u64,
+    /// Bandwidth multiplier (> 1) for cache-resident working sets.
+    pub llc_bw_factor: f64,
+}
+
+impl MemDomainModel {
+    /// A model with neutral secondary parameters; callers override fields.
+    pub fn new(name: impl Into<String>, peak_bw_gb_s: f64, per_core_bw_gb_s: f64) -> Self {
+        assert!(peak_bw_gb_s > 0.0, "peak bandwidth must be positive");
+        assert!(
+            per_core_bw_gb_s > 0.0,
+            "per-core bandwidth must be positive"
+        );
+        MemDomainModel {
+            name: name.into(),
+            peak_bw_gb_s,
+            sustained_efficiency: 0.85,
+            per_core_bw_gb_s,
+            latency: SimDuration::from_ns(90.0),
+            nt_stores: true,
+            cache_mode_penalty: 1.0,
+            unbound_efficiency: 0.93,
+            smt_penalty: 0.97,
+            op_efficiency: [1.0; 5],
+            llc_bytes: 0,
+            llc_bw_factor: 2.5,
+        }
+    }
+
+    fn op_index(op: StreamOp) -> usize {
+        StreamOp::ALL
+            .iter()
+            .position(|&o| o == op)
+            .expect("op in ALL")
+    }
+
+    /// Raw sustainable traffic rate (actual bytes per second) for a
+    /// placement, before any reporting convention.
+    pub fn raw_sustained_bw(&self, placement: PlacementQuality) -> f64 {
+        assert!(placement.cores_used > 0, "placement uses no cores");
+        let core_limited = placement.cores_used as f64 * self.per_core_bw_gb_s;
+        // The cache-mode tax bites under contention (tag traffic and
+        // evictions compete with demand streams), so it derates the
+        // domain-limited term: a single Theta core still streams at full
+        // speed while the saturated chip collapses (Table 4).
+        let domain_limited =
+            self.peak_bw_gb_s * self.sustained_efficiency * self.cache_mode_penalty;
+        let mut bw = core_limited.min(domain_limited);
+        if !placement.bound {
+            bw *= self.unbound_efficiency;
+        }
+        if placement.threads > placement.cores_used {
+            bw *= self.smt_penalty;
+        }
+        bw
+    }
+
+    /// Bandwidth in BabelStream's *reported* convention for `op`: raw
+    /// traffic rate scaled by the reported/actual byte ratio when stores
+    /// write-allocate, plus the per-op efficiency adjustment.
+    pub fn reported_bw(&self, op: StreamOp, placement: PlacementQuality) -> f64 {
+        let mut bw = self.raw_sustained_bw(placement) * self.op_efficiency[Self::op_index(op)];
+        if !self.nt_stores {
+            bw *= op.reported_arrays() as f64 / op.actual_arrays() as f64;
+        }
+        bw
+    }
+
+    /// [`MemDomainModel::reported_bw`] with the working-set size taken
+    /// into account: three `n`-element f64 arrays that fit in the LLC run
+    /// at cache bandwidth.
+    pub fn reported_bw_sized(&self, op: StreamOp, n: u64, placement: PlacementQuality) -> f64 {
+        let bw = self.reported_bw(op, placement);
+        let working_set = 3 * 8 * n;
+        if self.llc_bytes > 0 && working_set <= self.llc_bytes {
+            bw * self.llc_bw_factor.max(1.0)
+        } else {
+            bw
+        }
+    }
+
+    /// Virtual time for one iteration of `op` over `n` f64 elements.
+    pub fn kernel_time(&self, op: StreamOp, n: u64, placement: PlacementQuality) -> SimDuration {
+        SimDuration::transfer(
+            op.reported_bytes(n),
+            self.reported_bw_sized(op, n, placement),
+        )
+    }
+
+    /// Convenience: best reported bandwidth over all five kernels.
+    pub fn best_reported_bw(&self, placement: PlacementQuality) -> (StreamOp, f64) {
+        StreamOp::ALL
+            .iter()
+            .map(|&op| (op, self.reported_bw(op, placement)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("five ops")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ddr() -> MemDomainModel {
+        MemDomainModel::new("DDR4 test", 280.0, 13.0)
+    }
+
+    #[test]
+    fn single_core_is_core_limited() {
+        let m = ddr();
+        let bw = m.raw_sustained_bw(PlacementQuality::single());
+        assert!((bw - 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_cores_is_domain_limited() {
+        let m = ddr();
+        let bw = m.raw_sustained_bw(PlacementQuality::all_cores(48));
+        // 48 * 13 = 624 > 280 * 0.85 = 238
+        assert!((bw - 238.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_is_linear_until_saturation() {
+        let m = ddr();
+        let b4 = m.raw_sustained_bw(PlacementQuality::all_cores(4));
+        let b8 = m.raw_sustained_bw(PlacementQuality::all_cores(8));
+        assert!((b8 / b4 - 2.0).abs() < 1e-9);
+        let b100 = m.raw_sustained_bw(PlacementQuality::all_cores(100));
+        let b200 = m.raw_sustained_bw(PlacementQuality::all_cores(200));
+        assert_eq!(b100, b200);
+    }
+
+    #[test]
+    fn unbound_and_smt_penalties_apply() {
+        let m = ddr();
+        let bound = m.raw_sustained_bw(PlacementQuality::all_cores(8));
+        let unbound = m.raw_sustained_bw(PlacementQuality {
+            cores_used: 8,
+            threads: 8,
+            bound: false,
+        });
+        let smt = m.raw_sustained_bw(PlacementQuality {
+            cores_used: 8,
+            threads: 16,
+            bound: true,
+        });
+        assert!(unbound < bound);
+        assert!(smt < bound);
+        assert!((unbound / bound - m.unbound_efficiency).abs() < 1e-9);
+        assert!((smt / bound - m.smt_penalty).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_allocate_shrinks_reported_bw_for_store_ops_only() {
+        let mut m = ddr();
+        m.nt_stores = false;
+        let p = PlacementQuality::single();
+        let copy = m.reported_bw(StreamOp::Copy, p);
+        let dot = m.reported_bw(StreamOp::Dot, p);
+        // Dot has no store: unaffected. Copy loses a third.
+        assert!((dot - 13.0).abs() < 1e-9);
+        assert!((copy - 13.0 * 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernel_time_matches_bandwidth() {
+        let m = ddr();
+        let p = PlacementQuality::all_cores(48);
+        let n = 1u64 << 24;
+        let t = m.kernel_time(StreamOp::Triad, n, p);
+        let implied = t.bandwidth_gb_s(StreamOp::Triad.reported_bytes(n));
+        let want = m.reported_bw(StreamOp::Triad, p);
+        assert!((implied - want).abs() / want < 1e-6);
+    }
+
+    #[test]
+    fn best_op_respects_op_efficiency() {
+        let mut m = ddr();
+        m.op_efficiency = [1.0, 1.0, 1.0, 1.03, 1.0]; // favour Triad
+        let (op, _) = m.best_reported_bw(PlacementQuality::single());
+        assert_eq!(op, StreamOp::Triad);
+    }
+
+    #[test]
+    fn cache_mode_penalty_derates_the_domain_limit_only() {
+        let mut m = ddr();
+        m.cache_mode_penalty = 0.5;
+        let all = m.raw_sustained_bw(PlacementQuality::all_cores(48));
+        assert!((all - 119.0).abs() < 1e-9);
+        // A single core stays below the derated domain limit: unaffected.
+        let single = m.raw_sustained_bw(PlacementQuality::single());
+        assert!((single - 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn llc_boosts_cache_resident_working_sets_only() {
+        let mut m = ddr();
+        m.llc_bytes = 32 * 1024 * 1024;
+        m.llc_bw_factor = 3.0;
+        let p = PlacementQuality::all_cores(48);
+        let small = m.reported_bw_sized(StreamOp::Triad, 64 * 1024, p); // 1.5 MiB set
+        let big = m.reported_bw_sized(StreamOp::Triad, 16 * 1024 * 1024, p); // 384 MiB set
+        assert!((small / big - 3.0).abs() < 1e-9, "small={small} big={big}");
+        // Disabled LLC: no boost anywhere.
+        m.llc_bytes = 0;
+        let off = m.reported_bw_sized(StreamOp::Triad, 64 * 1024, p);
+        assert_eq!(off, big);
+    }
+
+    #[test]
+    fn kernel_time_reflects_the_cache_cliff() {
+        let mut m = ddr();
+        m.llc_bytes = 32 * 1024 * 1024;
+        let p = PlacementQuality::single();
+        let n_small = 64 * 1024u64;
+        let t_small = m.kernel_time(StreamOp::Copy, n_small, p);
+        let implied = t_small.bandwidth_gb_s(StreamOp::Copy.reported_bytes(n_small));
+        assert!(implied > 13.0 * 2.0, "implied={implied}");
+    }
+
+    #[test]
+    #[should_panic(expected = "uses no cores")]
+    fn zero_core_placement_panics() {
+        ddr().raw_sustained_bw(PlacementQuality {
+            cores_used: 0,
+            threads: 0,
+            bound: true,
+        });
+    }
+
+    proptest! {
+        /// Bandwidth is monotonically non-decreasing in cores used.
+        #[test]
+        fn prop_monotone_in_cores(c1 in 1u32..256, c2 in 1u32..256) {
+            let m = ddr();
+            let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+            prop_assert!(
+                m.raw_sustained_bw(PlacementQuality::all_cores(lo))
+                    <= m.raw_sustained_bw(PlacementQuality::all_cores(hi)) + 1e-12
+            );
+        }
+
+        /// Reported bandwidth never exceeds raw for any op.
+        #[test]
+        fn prop_reported_le_raw_times_opeff(cores in 1u32..128) {
+            let mut m = ddr();
+            m.nt_stores = false;
+            let p = PlacementQuality::all_cores(cores);
+            for &op in &StreamOp::ALL {
+                prop_assert!(m.reported_bw(op, p) <= m.raw_sustained_bw(p) + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Memory-system sustained-bandwidth and latency models.
+//!
+//! BabelStream (and STREAM before it) measures *sustained* memory bandwidth,
+//! which differs from the data-sheet peak in three machine-dependent ways
+//! the paper's Table 4/5 "Peak" column makes visible:
+//!
+//! 1. **Sustained efficiency** — DRAM/HBM never reaches its pin rate under a
+//!    streaming access pattern (row activations, refresh, write turnaround).
+//! 2. **Per-core concurrency limits** — a single core can only keep
+//!    `outstanding-misses × line-size / memory-latency` bytes in flight, so
+//!    single-thread bandwidth (13–19 GB/s in Table 4) is far below the
+//!    socket's capability.
+//! 3. **Cache-mode overheads** — Knights Landing machines ran MCDRAM in
+//!    "quad cache" mode, where tag checks and evictions tax every stream
+//!    (Trinity), occasionally pathologically (Theta).
+//!
+//! [`MemDomainModel`] captures these as a small set of parameters and
+//! produces the sustained bandwidth for a given [`StreamOp`] and thread
+//! placement. The same struct models host DDR4, MCDRAM, and device HBM.
+
+//! # Example
+//!
+//! ```
+//! use doe_memmodel::{MemDomainModel, PlacementQuality, StreamOp};
+//!
+//! // A Xeon-class socket pair: 281.5 GB/s peak, 13 GB/s per core.
+//! let mut mem = MemDomainModel::new("DDR4", 281.5, 13.0);
+//! mem.sustained_efficiency = 0.85;
+//! let single = mem.reported_bw(StreamOp::Triad, PlacementQuality::single());
+//! let all = mem.reported_bw(StreamOp::Triad, PlacementQuality::all_cores(48));
+//! assert!((single - 13.0).abs() < 1e-9);        // concurrency-limited
+//! assert!((all - 281.5 * 0.85).abs() < 1e-9);   // domain-limited
+//! ```
+
+pub mod domain;
+pub mod stream;
+
+pub use domain::{MemDomainModel, PlacementQuality};
+pub use stream::StreamOp;

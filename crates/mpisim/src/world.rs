@@ -1,0 +1,490 @@
+//! The rank world: per-rank virtual clocks and blocking send/recv.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use doe_simtime::{SimDuration, SimRng, SimTime};
+use doe_topo::{CoreId, NodeTopology, NumaId};
+
+use crate::config::MpiConfig;
+use crate::transport::{resolve_path, BufferLoc, PathCosts};
+
+/// A rank handle.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Rank(pub usize);
+
+/// Errors from world construction or communication calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// Rank index out of range.
+    InvalidRank(usize),
+    /// The core a rank was placed on does not exist.
+    InvalidCore(CoreId),
+    /// The topology offers no path between the endpoints.
+    NoPath(String),
+    /// `recv` found no matching message (protocol misuse in the driver).
+    NoMatchingMessage {
+        /// Receiving rank.
+        to: usize,
+        /// Expected sending rank.
+        from: usize,
+    },
+    /// A rank cannot send to itself.
+    SelfMessage,
+}
+
+impl std::fmt::Display for MpiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpiError::InvalidRank(r) => write!(f, "invalid rank {r}"),
+            MpiError::InvalidCore(c) => write!(f, "invalid core {c}"),
+            MpiError::NoPath(s) => write!(f, "no path: {s}"),
+            MpiError::NoMatchingMessage { to, from } => {
+                write!(f, "rank {to} has no pending message from rank {from}")
+            }
+            MpiError::SelfMessage => write!(f, "self-send not supported"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+#[derive(Clone, Debug)]
+struct RankInfo {
+    core: CoreId,
+    buffer: BufferLoc,
+}
+
+/// A serializing resource (the shared-memory port of one NUMA domain):
+/// concurrent payload copies from co-located ranks queue behind each
+/// other, which is what degrades multi-pair throughput on a socket.
+#[derive(Debug, Default, Clone)]
+struct Port {
+    busy_until: SimTime,
+}
+
+impl Port {
+    /// Occupy the port for `dur` starting no earlier than `at`; returns
+    /// the completion instant.
+    fn occupy(&mut self, at: SimTime, dur: SimDuration) -> SimTime {
+        let start = at.max(self.busy_until);
+        self.busy_until = start + dur;
+        self.busy_until
+    }
+}
+
+#[derive(Debug)]
+struct Message {
+    bytes: u64,
+    /// Sender's clock after paying its software overhead.
+    sender_ready: SimTime,
+    /// For eager messages: when the payload lands at the receiver.
+    eager_arrival: Option<SimTime>,
+    path: PathCosts,
+    from: usize,
+}
+
+/// A simulated intra-node MPI world.
+#[derive(Debug)]
+pub struct MpiSim {
+    topo: Arc<NodeTopology>,
+    cfg: MpiConfig,
+    ranks: Vec<RankInfo>,
+    clocks: Vec<SimTime>,
+    /// Pending messages per receiving rank, FIFO per sender.
+    mailboxes: Vec<VecDeque<Message>>,
+    /// Shared-memory copy port per NUMA domain.
+    ports: HashMap<NumaId, Port>,
+    /// Common-mode run factor: one draw per world, scaling every software
+    /// and transport cost. Run-to-run σ in the paper is dominated by this
+    /// common mode (DVFS, OS state), not per-message noise — per-message
+    /// noise would average away over OSU's 1000 inner iterations.
+    run_factor: f64,
+}
+
+impl MpiSim {
+    /// Create a world over `topo` with the given MPI implementation model.
+    pub fn new(topo: Arc<NodeTopology>, cfg: MpiConfig, seed: u64) -> Self {
+        cfg.validate().expect("invalid MpiConfig");
+        let mut rng = SimRng::stream(seed, &format!("mpi/{}", topo.name), 0);
+        let run_factor = cfg.jitter.sample_scalar(1.0, &mut rng).max(0.05);
+        MpiSim {
+            topo,
+            cfg,
+            ranks: Vec::new(),
+            clocks: Vec::new(),
+            mailboxes: Vec::new(),
+            ports: HashMap::new(),
+            run_factor,
+        }
+    }
+
+    #[inline]
+    fn scaled(&self, d: SimDuration) -> SimDuration {
+        d * self.run_factor
+    }
+
+    /// The topology this world runs on.
+    pub fn topology(&self) -> &NodeTopology {
+        &self.topo
+    }
+
+    /// The MPI configuration.
+    pub fn config(&self) -> &MpiConfig {
+        &self.cfg
+    }
+
+    /// Add a rank pinned to `core` with a host-resident message buffer.
+    pub fn add_host_rank(&mut self, core: CoreId) -> Result<Rank, MpiError> {
+        self.add_rank(core, BufferLoc::Host)
+    }
+
+    /// Add a rank pinned to `core` whose message buffer lives on `dev`.
+    pub fn add_device_rank(
+        &mut self,
+        core: CoreId,
+        dev: doe_topo::DeviceId,
+    ) -> Result<Rank, MpiError> {
+        self.add_rank(core, BufferLoc::Device(dev))
+    }
+
+    fn add_rank(&mut self, core: CoreId, buffer: BufferLoc) -> Result<Rank, MpiError> {
+        if self.topo.core(core).is_none() {
+            return Err(MpiError::InvalidCore(core));
+        }
+        self.ranks.push(RankInfo { core, buffer });
+        self.clocks.push(SimTime::ZERO);
+        self.mailboxes.push(VecDeque::new());
+        Ok(Rank(self.ranks.len() - 1))
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// A rank's current virtual time.
+    pub fn time(&self, r: Rank) -> Result<SimTime, MpiError> {
+        self.clocks
+            .get(r.0)
+            .copied()
+            .ok_or(MpiError::InvalidRank(r.0))
+    }
+
+    /// Advance a rank's clock by local compute/overhead.
+    pub fn advance(&mut self, r: Rank, d: SimDuration) -> Result<(), MpiError> {
+        let c = self.clocks.get_mut(r.0).ok_or(MpiError::InvalidRank(r.0))?;
+        *c += d;
+        Ok(())
+    }
+
+    /// Synchronize all rank clocks to the latest (an `MPI_Barrier` with
+    /// idealized zero cost — used between benchmark phases).
+    pub fn barrier(&mut self) {
+        let max = self.clocks.iter().copied().max().unwrap_or(SimTime::ZERO);
+        for c in &mut self.clocks {
+            *c = max;
+        }
+    }
+
+    fn path_between(&self, from: usize, to: usize) -> Result<PathCosts, MpiError> {
+        let fi = &self.ranks[from];
+        let ti = &self.ranks[to];
+        let fn_ = self
+            .topo
+            .numa_of_core(fi.core)
+            .ok_or(MpiError::InvalidCore(fi.core))?;
+        let tn = self
+            .topo
+            .numa_of_core(ti.core)
+            .ok_or(MpiError::InvalidCore(ti.core))?;
+        let mut path = resolve_path(&self.topo, &self.cfg, fn_, fi.buffer, tn, ti.buffer)
+            .ok_or_else(|| MpiError::NoPath(format!("rank {from} -> rank {to}")))?;
+        // On-die mesh distance for same-domain host pairs (Xeon Phi's
+        // "close" vs "far" core pairs).
+        if fn_ == tn
+            && fi.buffer == BufferLoc::Host
+            && ti.buffer == BufferLoc::Host
+            && !self.cfg.intra_numa_distance.is_zero()
+        {
+            let n = self.topo.cores_of_numa(fn_).len();
+            if n > 1 {
+                let dist = fi.core.index().abs_diff(ti.core.index()) as f64;
+                let frac = dist / (n - 1) as f64;
+                path.latency += self.cfg.intra_numa_distance * frac.min(1.0);
+            }
+        }
+        Ok(path)
+    }
+
+    /// Blocking standard-mode send of `bytes` from `from` to `to`.
+    ///
+    /// Eager messages (≤ threshold) complete locally once buffered; larger
+    /// messages use rendezvous and the sender's completion is settled when
+    /// the matching `recv` executes.
+    pub fn send(&mut self, from: Rank, to: Rank, bytes: u64) -> Result<(), MpiError> {
+        if from == to {
+            return Err(MpiError::SelfMessage);
+        }
+        if from.0 >= self.ranks.len() {
+            return Err(MpiError::InvalidRank(from.0));
+        }
+        if to.0 >= self.ranks.len() {
+            return Err(MpiError::InvalidRank(to.0));
+        }
+        let path = self.path_between(from.0, to.0)?;
+        let o_s = self.scaled(self.cfg.send_overhead);
+        let eager = bytes <= self.cfg.eager_threshold;
+        // Eager sends copy the payload into the transport buffer before
+        // returning: the sender serializes at the path bandwidth, through
+        // its NUMA domain's shared copy port (concurrent co-located
+        // senders queue — the multi-pair contention effect). Without this,
+        // a windowed sender could "inject" faster than the wire.
+        let sender_ready = if eager {
+            let ser = self.scaled(SimDuration::transfer(bytes, path.bandwidth));
+            let after_os = self.clocks[from.0] + o_s;
+            let numa = self
+                .topo
+                .numa_of_core(self.ranks[from.0].core)
+                .ok_or(MpiError::InvalidCore(self.ranks[from.0].core))?;
+            let done = if ser.is_zero() {
+                after_os
+            } else {
+                self.ports.entry(numa).or_default().occupy(after_os, ser)
+            };
+            self.clocks[from.0] = done;
+            done
+        } else {
+            self.clocks[from.0] += o_s;
+            self.clocks[from.0]
+        };
+        let eager_arrival = if eager {
+            Some(sender_ready + self.scaled(path.latency))
+        } else {
+            None
+        };
+        self.mailboxes[to.0].push_back(Message {
+            bytes,
+            sender_ready,
+            eager_arrival,
+            path,
+            from: from.0,
+        });
+        Ok(())
+    }
+
+    /// Blocking receive at `at` of the oldest pending message from `from`.
+    ///
+    /// Returns the receiver-side completion instant.
+    pub fn recv(&mut self, at: Rank, from: Rank, bytes: u64) -> Result<SimTime, MpiError> {
+        if at.0 >= self.ranks.len() {
+            return Err(MpiError::InvalidRank(at.0));
+        }
+        let pos = self.mailboxes[at.0]
+            .iter()
+            .position(|m| m.from == from.0 && m.bytes == bytes)
+            .ok_or(MpiError::NoMatchingMessage {
+                to: at.0,
+                from: from.0,
+            })?;
+        let msg = self.mailboxes[at.0].remove(pos).expect("position valid");
+        let o_r = self.scaled(self.cfg.recv_overhead);
+        let recv_post = self.clocks[at.0];
+        let done = match msg.eager_arrival {
+            Some(arrival) => recv_post.max(arrival) + o_r,
+            None => {
+                // Rendezvous: RTS reaches the receiver, CTS returns, then
+                // the payload moves. The control messages pay the path
+                // latency; the payload pays latency + serialization.
+                let lat = self.scaled(msg.path.latency);
+                let rts_at_recv = msg.sender_ready + lat;
+                let cts_sent = recv_post.max(rts_at_recv);
+                let data_start = cts_sent + lat; // CTS travels back
+                                                 // The payload copy occupies the sender's NUMA port, then
+                                                 // crosses the path.
+                let ser = self.scaled(SimDuration::transfer(msg.bytes, msg.path.bandwidth));
+                let sender_numa = self
+                    .topo
+                    .numa_of_core(self.ranks[msg.from].core)
+                    .ok_or(MpiError::InvalidCore(self.ranks[msg.from].core))?;
+                let copy_done = if ser.is_zero() {
+                    data_start
+                } else {
+                    self.ports
+                        .entry(sender_numa)
+                        .or_default()
+                        .occupy(data_start, ser)
+                };
+                let data_done = copy_done + lat;
+                // Synchronous completion: the sender unblocks when the
+                // transfer finishes.
+                let sc = &mut self.clocks[msg.from];
+                *sc = (*sc).max(data_done);
+                data_done + o_r
+            }
+        };
+        self.clocks[at.0] = done;
+        Ok(done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doe_simtime::Jitter;
+    use doe_topo::{LinkKind, NodeBuilder, NumaId, SocketId, Vertex};
+
+    fn topo() -> Arc<NodeTopology> {
+        Arc::new(
+            NodeBuilder::new("w")
+                .socket("A")
+                .socket("B")
+                .numa(SocketId(0))
+                .numa(SocketId(1))
+                .cores(NumaId(0), 4, 1)
+                .cores(NumaId(1), 4, 1)
+                .link(
+                    Vertex::Numa(NumaId(0)),
+                    Vertex::Numa(NumaId(1)),
+                    LinkKind::Upi,
+                    SimDuration::from_ns(200.0),
+                    40.0,
+                )
+                .build()
+                .expect("valid"),
+        )
+    }
+
+    fn quiet_cfg() -> MpiConfig {
+        let mut c = MpiConfig::default_host();
+        c.jitter = Jitter::NONE;
+        c
+    }
+
+    fn pingpong_oneway_us(world: &mut MpiSim, a: Rank, b: Rank, bytes: u64, iters: u32) -> f64 {
+        world.barrier();
+        let t0 = world.time(a).unwrap();
+        for _ in 0..iters {
+            world.send(a, b, bytes).unwrap();
+            world.recv(b, a, bytes).unwrap();
+            world.send(b, a, bytes).unwrap();
+            world.recv(a, b, bytes).unwrap();
+        }
+        let dt = world.time(a).unwrap().since(t0);
+        dt.as_us() / (2.0 * iters as f64)
+    }
+
+    #[test]
+    fn on_socket_latency_matches_model() {
+        let mut w = MpiSim::new(topo(), quiet_cfg(), 1);
+        let a = w.add_host_rank(CoreId(0)).unwrap();
+        let b = w.add_host_rank(CoreId(1)).unwrap();
+        let lat = pingpong_oneway_us(&mut w, a, b, 0, 100);
+        // o_s + shm_lat + o_r = 80 + 150 + 80 ns = 0.31 us
+        assert!((lat - 0.31).abs() < 0.01, "lat={lat}");
+    }
+
+    #[test]
+    fn cross_socket_is_slower_than_on_socket() {
+        let mut w = MpiSim::new(topo(), quiet_cfg(), 1);
+        let a = w.add_host_rank(CoreId(0)).unwrap();
+        let b = w.add_host_rank(CoreId(1)).unwrap();
+        let on_socket = pingpong_oneway_us(&mut w, a, b, 0, 50);
+
+        let mut w2 = MpiSim::new(topo(), quiet_cfg(), 1);
+        let a2 = w2.add_host_rank(CoreId(0)).unwrap();
+        let b2 = w2.add_host_rank(CoreId(4)).unwrap(); // other socket
+        let on_node = pingpong_oneway_us(&mut w2, a2, b2, 0, 50);
+
+        assert!(on_node > on_socket);
+        // Exactly the UPI hop slower.
+        assert!((on_node - on_socket - 0.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn rendezvous_kicks_in_above_threshold() {
+        let mut w = MpiSim::new(topo(), quiet_cfg(), 1);
+        let a = w.add_host_rank(CoreId(0)).unwrap();
+        let b = w.add_host_rank(CoreId(1)).unwrap();
+        let thr = w.config().eager_threshold;
+        let below = pingpong_oneway_us(&mut w, a, b, thr, 20);
+        let above = pingpong_oneway_us(&mut w, a, b, thr + 1, 20);
+        // The rendezvous handshake adds two extra path latencies.
+        assert!(above > below, "below={below} above={above}");
+    }
+
+    #[test]
+    fn latency_grows_with_message_size() {
+        let mut w = MpiSim::new(topo(), quiet_cfg(), 1);
+        let a = w.add_host_rank(CoreId(0)).unwrap();
+        let b = w.add_host_rank(CoreId(1)).unwrap();
+        let mut prev = 0.0;
+        for bytes in [0u64, 1024, 65_536, 1 << 20, 1 << 24] {
+            let lat = pingpong_oneway_us(&mut w, a, b, bytes, 5);
+            assert!(
+                lat >= prev,
+                "latency not monotone at {bytes}: {lat} < {prev}"
+            );
+            prev = lat;
+        }
+    }
+
+    #[test]
+    fn recv_without_send_errors() {
+        let mut w = MpiSim::new(topo(), quiet_cfg(), 1);
+        let a = w.add_host_rank(CoreId(0)).unwrap();
+        let b = w.add_host_rank(CoreId(1)).unwrap();
+        let err = w.recv(b, a, 8).unwrap_err();
+        assert!(matches!(err, MpiError::NoMatchingMessage { .. }));
+    }
+
+    #[test]
+    fn self_send_rejected() {
+        let mut w = MpiSim::new(topo(), quiet_cfg(), 1);
+        let a = w.add_host_rank(CoreId(0)).unwrap();
+        assert_eq!(w.send(a, a, 8), Err(MpiError::SelfMessage));
+    }
+
+    #[test]
+    fn invalid_core_rejected() {
+        let mut w = MpiSim::new(topo(), quiet_cfg(), 1);
+        assert!(matches!(
+            w.add_host_rank(CoreId(99)),
+            Err(MpiError::InvalidCore(_))
+        ));
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let mut w = MpiSim::new(topo(), quiet_cfg(), 1);
+        let a = w.add_host_rank(CoreId(0)).unwrap();
+        let b = w.add_host_rank(CoreId(1)).unwrap();
+        w.advance(a, SimDuration::from_us(5.0)).unwrap();
+        w.barrier();
+        assert_eq!(w.time(a).unwrap(), w.time(b).unwrap());
+    }
+
+    #[test]
+    fn messages_from_same_sender_are_fifo() {
+        let mut w = MpiSim::new(topo(), quiet_cfg(), 1);
+        let a = w.add_host_rank(CoreId(0)).unwrap();
+        let b = w.add_host_rank(CoreId(1)).unwrap();
+        w.send(a, b, 8).unwrap();
+        w.send(a, b, 8).unwrap();
+        let t1 = w.recv(b, a, 8).unwrap();
+        let t2 = w.recv(b, a, 8).unwrap();
+        assert!(t2 >= t1);
+    }
+
+    #[test]
+    fn deterministic_across_runs_with_same_seed() {
+        let run = |seed| {
+            let mut w = MpiSim::new(topo(), MpiConfig::default_host(), seed);
+            let a = w.add_host_rank(CoreId(0)).unwrap();
+            let b = w.add_host_rank(CoreId(1)).unwrap();
+            pingpong_oneway_us(&mut w, a, b, 1024, 100)
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+}

@@ -1,0 +1,150 @@
+//! Protocol fuzzing: random message schedules through the MPI world must
+//! preserve the invariants the benchmarks rely on — monotone per-rank
+//! clocks, FIFO matching per sender, eager/rendezvous continuity, and
+//! bit-exact determinism.
+
+use std::sync::Arc;
+
+use doe_mpi::{MpiConfig, MpiSim};
+use doe_simtime::{Jitter, SimDuration, SimTime};
+use doe_topo::{CoreId, LinkKind, NodeBuilder, NodeTopology, NumaId, SocketId, Vertex};
+use proptest::prelude::*;
+
+fn topo() -> Arc<NodeTopology> {
+    Arc::new(
+        NodeBuilder::new("fuzz")
+            .socket("A")
+            .socket("B")
+            .numa(SocketId(0))
+            .numa(SocketId(1))
+            .cores(NumaId(0), 4, 2)
+            .cores(NumaId(1), 4, 2)
+            .link(
+                Vertex::Numa(NumaId(0)),
+                Vertex::Numa(NumaId(1)),
+                LinkKind::Upi,
+                SimDuration::from_ns(200.0),
+                40.0,
+            )
+            .build()
+            .expect("valid"),
+    )
+}
+
+fn cfg(jitter: f64) -> MpiConfig {
+    let mut c = MpiConfig::default_host();
+    c.jitter = if jitter == 0.0 {
+        Jitter::NONE
+    } else {
+        Jitter::relative(jitter)
+    };
+    c
+}
+
+/// A schedule step: rank `src` sends `bytes` to the other rank, which then
+/// receives.
+#[derive(Debug, Clone)]
+struct Step {
+    src_is_a: bool,
+    bytes: u64,
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        (any::<bool>(), 0u64..200_000u64).prop_map(|(src_is_a, bytes)| Step { src_is_a, bytes }),
+        1..100,
+    )
+}
+
+fn run_schedule(seed: u64, jitter: f64, schedule: &[Step]) -> (SimTime, SimTime) {
+    let mut w = MpiSim::new(topo(), cfg(jitter), seed);
+    let a = w.add_host_rank(CoreId(0)).expect("core");
+    let b = w.add_host_rank(CoreId(4)).expect("core");
+    for step in schedule {
+        let (src, dst) = if step.src_is_a { (a, b) } else { (b, a) };
+        w.send(src, dst, step.bytes).expect("send");
+        w.recv(dst, src, step.bytes).expect("recv");
+    }
+    (w.time(a).expect("a"), w.time(b).expect("b"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Per-rank clocks never move backwards across any schedule.
+    #[test]
+    fn clocks_are_monotone(schedule in steps(), seed in any::<u64>()) {
+        let mut w = MpiSim::new(topo(), cfg(0.01), seed);
+        let a = w.add_host_rank(CoreId(0)).expect("core");
+        let b = w.add_host_rank(CoreId(4)).expect("core");
+        let (mut ta, mut tb) = (SimTime::ZERO, SimTime::ZERO);
+        for step in &schedule {
+            let (src, dst) = if step.src_is_a { (a, b) } else { (b, a) };
+            w.send(src, dst, step.bytes).expect("send");
+            w.recv(dst, src, step.bytes).expect("recv");
+            let (na, nb) = (w.time(a).expect("a"), w.time(b).expect("b"));
+            prop_assert!(na >= ta && nb >= tb, "clock went backwards");
+            ta = na;
+            tb = nb;
+        }
+    }
+
+    /// Identical (seed, schedule) pairs produce identical final clocks;
+    /// different seeds (with jitter) almost always differ.
+    #[test]
+    fn schedules_are_deterministic(schedule in steps(), seed in any::<u64>()) {
+        let r1 = run_schedule(seed, 0.02, &schedule);
+        let r2 = run_schedule(seed, 0.02, &schedule);
+        prop_assert_eq!(r1, r2);
+    }
+
+    /// With zero jitter, total time is invariant to the seed.
+    #[test]
+    fn zero_jitter_is_seed_independent(schedule in steps(), s1 in any::<u64>(), s2 in any::<u64>()) {
+        let r1 = run_schedule(s1, 0.0, &schedule);
+        let r2 = run_schedule(s2, 0.0, &schedule);
+        prop_assert_eq!(r1, r2);
+    }
+
+    /// FIFO per sender: two same-size messages complete in send order.
+    #[test]
+    fn fifo_matching(bytes in 0u64..100_000, n in 2usize..10) {
+        let mut w = MpiSim::new(topo(), cfg(0.0), 1);
+        let a = w.add_host_rank(CoreId(0)).expect("core");
+        let b = w.add_host_rank(CoreId(4)).expect("core");
+        for _ in 0..n {
+            w.send(a, b, bytes).expect("send");
+        }
+        let mut prev = SimTime::ZERO;
+        for _ in 0..n {
+            let done = w.recv(b, a, bytes).expect("recv");
+            prop_assert!(done >= prev);
+            prev = done;
+        }
+    }
+
+    /// Latency is continuous-ish at the eager threshold: the rendezvous
+    /// penalty is bounded by a few path latencies, not an arbitrary jump.
+    #[test]
+    fn rendezvous_step_is_bounded(seed in any::<u64>()) {
+        let c = cfg(0.0);
+        let thr = c.eager_threshold;
+        let t_eager = {
+            let mut w = MpiSim::new(topo(), c.clone(), seed);
+            let a = w.add_host_rank(CoreId(0)).expect("core");
+            let b = w.add_host_rank(CoreId(4)).expect("core");
+            w.send(a, b, thr).expect("send");
+            w.recv(b, a, thr).expect("recv")
+        };
+        let t_rdv = {
+            let mut w = MpiSim::new(topo(), c, seed);
+            let a = w.add_host_rank(CoreId(0)).expect("core");
+            let b = w.add_host_rank(CoreId(4)).expect("core");
+            w.send(a, b, thr + 1).expect("send");
+            w.recv(b, a, thr + 1).expect("recv")
+        };
+        let gap = t_rdv.since(SimTime::ZERO).as_us() - t_eager.since(SimTime::ZERO).as_us();
+        prop_assert!(gap > 0.0, "rendezvous must cost something");
+        prop_assert!(gap < 5.0, "rendezvous step too large: {gap} us");
+    }
+}

@@ -1,0 +1,111 @@
+//! Host topology detection for native runs.
+//!
+//! The Table 1 sweep distinguishes `#cores` from `#threads` (SMT). The
+//! standard library only exposes the logical CPU count, so on Linux we
+//! read `/proc/cpuinfo` to recover the physical-core count; elsewhere (or
+//! if parsing fails) we conservatively assume no SMT.
+
+/// Detected host CPU topology.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HostTopology {
+    /// Physical cores across all sockets.
+    pub physical_cores: usize,
+    /// Hardware threads (logical CPUs).
+    pub hw_threads: usize,
+}
+
+impl HostTopology {
+    /// SMT ways (threads per core), at least 1.
+    pub fn smt(&self) -> usize {
+        (self.hw_threads / self.physical_cores.max(1)).max(1)
+    }
+}
+
+/// Parse the physical-core count out of `/proc/cpuinfo` content: the
+/// number of distinct `(physical id, core id)` pairs.
+fn parse_cpuinfo(content: &str) -> Option<usize> {
+    let mut pairs = std::collections::HashSet::new();
+    let (mut phys, mut core) = (None::<u32>, None::<u32>);
+    let flush = |phys: &mut Option<u32>,
+                 core: &mut Option<u32>,
+                 pairs: &mut std::collections::HashSet<(u32, u32)>| {
+        if let (Some(p), Some(c)) = (*phys, *core) {
+            pairs.insert((p, c));
+        }
+        *phys = None;
+        *core = None;
+    };
+    for line in content.lines() {
+        if line.trim().is_empty() {
+            flush(&mut phys, &mut core, &mut pairs);
+            continue;
+        }
+        let mut split = line.splitn(2, ':');
+        let key = split.next().unwrap_or("").trim();
+        let val = split.next().unwrap_or("").trim();
+        match key {
+            "physical id" => phys = val.parse().ok(),
+            "core id" => core = val.parse().ok(),
+            _ => {}
+        }
+    }
+    flush(&mut phys, &mut core, &mut pairs);
+    if pairs.is_empty() {
+        None
+    } else {
+        Some(pairs.len())
+    }
+}
+
+/// Detect the host topology.
+pub fn host_topology() -> HostTopology {
+    let hw_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let physical_cores = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|c| parse_cpuinfo(&c))
+        .filter(|&c| c > 0 && c <= hw_threads)
+        .unwrap_or(hw_threads);
+    HostTopology {
+        physical_cores,
+        hw_threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_two_core_smt2_cpuinfo() {
+        let cpuinfo = "\
+processor\t: 0\nphysical id\t: 0\ncore id\t: 0\n\n\
+processor\t: 1\nphysical id\t: 0\ncore id\t: 1\n\n\
+processor\t: 2\nphysical id\t: 0\ncore id\t: 0\n\n\
+processor\t: 3\nphysical id\t: 0\ncore id\t: 1\n\n";
+        assert_eq!(parse_cpuinfo(cpuinfo), Some(2));
+    }
+
+    #[test]
+    fn parses_dual_socket() {
+        let cpuinfo = "\
+processor: 0\nphysical id: 0\ncore id: 0\n\n\
+processor: 1\nphysical id: 1\ncore id: 0\n\n";
+        assert_eq!(parse_cpuinfo(cpuinfo), Some(2));
+    }
+
+    #[test]
+    fn garbage_yields_none() {
+        assert_eq!(parse_cpuinfo(""), None);
+        assert_eq!(parse_cpuinfo("model name: something\n"), None);
+    }
+
+    #[test]
+    fn detection_is_sane_on_this_host() {
+        let t = host_topology();
+        assert!(t.physical_cores >= 1);
+        assert!(t.hw_threads >= t.physical_cores);
+        assert!(t.smt() >= 1 && t.smt() <= 8);
+    }
+}

@@ -1,0 +1,25 @@
+//! An OpenMP-like parallel runtime with simulated and native backends.
+//!
+//! BabelStream's host backend is OpenMP, and the paper's Table 1 sweeps
+//! three environment variables — `OMP_NUM_THREADS`, `OMP_PROC_BIND`,
+//! `OMP_PLACES` — to find the best achievable bandwidth. This crate models
+//! that control surface:
+//!
+//! * [`EnvCombo`] encodes one row of Table 1; [`EnvCombo::table1`] is the
+//!   full sweep.
+//! * [`resolve_placement`] maps a combo onto a concrete node topology,
+//!   yielding the [`PlacementQuality`](doe_memmodel::PlacementQuality) the
+//!   memory model prices.
+//! * [`NativeBackend`] is a real fork-join runtime (static schedule, like
+//!   `#pragma omp parallel for`) used when benchmarking the *host machine*
+//!   rather than a simulated DOE system.
+
+pub mod env;
+pub mod hostinfo;
+pub mod native;
+pub mod placement;
+
+pub use env::{EnvCombo, Places, ProcBind, ThreadCount};
+pub use hostinfo::{host_topology, HostTopology};
+pub use native::NativeBackend;
+pub use placement::resolve_placement;

@@ -1,0 +1,285 @@
+//! A native fork-join backend: real threads on the host machine.
+//!
+//! Used when `doebench` measures the machine it is running on (the suite's
+//! original purpose) rather than a simulated DOE system. The execution
+//! model mirrors `#pragma omp parallel for schedule(static)`: the index
+//! space is split into one contiguous chunk per thread, workers run the
+//! chunk, and the region joins before returning — so each timed kernel has
+//! exactly one fork-join, like BabelStream's OpenMP backend.
+//!
+//! Threads are spawned per region via `crossbeam::thread::scope`, which
+//! keeps the implementation safe (no lifetime erasure) at a small,
+//! OpenMP-comparable region overhead.
+
+use std::ops::Range;
+
+/// A native parallel backend with a fixed thread count.
+#[derive(Debug, Clone, Copy)]
+pub struct NativeBackend {
+    nthreads: usize,
+}
+
+impl NativeBackend {
+    /// A backend with `nthreads` worker threads (≥ 1).
+    pub fn new(nthreads: usize) -> Self {
+        assert!(nthreads >= 1, "need at least one thread");
+        NativeBackend { nthreads }
+    }
+
+    /// A backend using all available parallelism on the host.
+    pub fn host_parallelism() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        NativeBackend { nthreads: n }
+    }
+
+    /// The configured thread count.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Split `[0, n)` into `nthreads` near-equal contiguous chunks
+    /// (static schedule). Chunks may be empty when `n < nthreads`.
+    pub fn static_chunks(&self, n: usize) -> Vec<Range<usize>> {
+        let t = self.nthreads;
+        let base = n / t;
+        let rem = n % t;
+        let mut out = Vec::with_capacity(t);
+        let mut start = 0;
+        for i in 0..t {
+            let len = base + usize::from(i < rem);
+            out.push(start..start + len);
+            start += len;
+        }
+        out
+    }
+
+    /// Run `body` over `[0, n)` with a static schedule; one fork-join.
+    pub fn parallel_for<F>(&self, n: usize, body: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        if self.nthreads == 1 {
+            body(0..n);
+            return;
+        }
+        let chunks = self.static_chunks(n);
+        crossbeam::thread::scope(|s| {
+            // The calling thread takes the first chunk, like an OpenMP
+            // master thread participating in the team.
+            for chunk in chunks.iter().skip(1).cloned() {
+                let body = &body;
+                s.spawn(move |_| body(chunk));
+            }
+            body(chunks[0].clone());
+        })
+        .expect("worker panicked");
+    }
+
+    /// Run `body` over `[0, n)` with a dynamic schedule (cf.
+    /// `schedule(dynamic, chunk)`): workers repeatedly claim the next
+    /// `chunk`-sized block from a shared counter, which load-balances
+    /// irregular iteration costs at the price of one atomic per block.
+    pub fn parallel_for_dynamic<F>(&self, n: usize, chunk: usize, body: F)
+    where
+        F: Fn(std::ops::Range<usize>) + Sync,
+    {
+        assert!(chunk > 0, "chunk size must be positive");
+        if n == 0 {
+            return;
+        }
+        if self.nthreads == 1 || n <= chunk {
+            body(0..n);
+            return;
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let worker = |_: usize| loop {
+            let start = next.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            body(start..(start + chunk).min(n));
+        };
+        crossbeam::thread::scope(|s| {
+            for t in 1..self.nthreads {
+                let worker = &worker;
+                s.spawn(move |_| worker(t));
+            }
+            worker(0);
+        })
+        .expect("worker panicked");
+    }
+
+    /// Parallel map-reduce over `[0, n)`: each thread folds its chunk with
+    /// `map`, results combine with `reduce`.
+    pub fn parallel_reduce<R, M, Rd>(&self, n: usize, identity: R, map: M, reduce: Rd) -> R
+    where
+        R: Send,
+        M: Fn(Range<usize>) -> R + Sync,
+        Rd: Fn(R, R) -> R,
+    {
+        if self.nthreads == 1 {
+            return reduce(identity, map(0..n));
+        }
+        let chunks = self.static_chunks(n);
+        let partials = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .skip(1)
+                .cloned()
+                .map(|chunk| {
+                    let map = &map;
+                    s.spawn(move |_| map(chunk))
+                })
+                .collect();
+            let mut results = vec![map(chunks[0].clone())];
+            for h in handles {
+                results.push(h.join().expect("worker panicked"));
+            }
+            results
+        })
+        .expect("worker panicked");
+        partials.into_iter().fold(identity, &reduce)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn static_chunks_cover_range_exactly() {
+        let b = NativeBackend::new(4);
+        let chunks = b.static_chunks(10);
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks[0], 0..3);
+        assert_eq!(chunks[1], 3..6);
+        assert_eq!(chunks[2], 6..8);
+        assert_eq!(chunks[3], 8..10);
+    }
+
+    #[test]
+    fn parallel_for_touches_every_index_once() {
+        let b = NativeBackend::new(4);
+        let n = 10_000;
+        let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        b.parallel_for(n, |range| {
+            for i in range {
+                counters[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_reduce_sums_correctly() {
+        let b = NativeBackend::new(3);
+        let n = 1_000usize;
+        let total = b.parallel_reduce(
+            n,
+            0u64,
+            |range| range.map(|i| i as u64).sum::<u64>(),
+            |a, c| a + c,
+        );
+        assert_eq!(total, (n as u64 - 1) * n as u64 / 2);
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let b = NativeBackend::new(1);
+        let hits = AtomicUsize::new(0);
+        b.parallel_for(5, |r| {
+            hits.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn tiny_ranges_with_many_threads() {
+        let b = NativeBackend::new(8);
+        let counter = AtomicUsize::new(0);
+        b.parallel_for(3, |r| {
+            counter.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn dynamic_schedule_touches_every_index_once() {
+        let b = NativeBackend::new(4);
+        let n = 10_007; // not a multiple of the chunk size
+        let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        b.parallel_for_dynamic(n, 64, |range| {
+            for i in range {
+                counters[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn dynamic_schedule_handles_tiny_inputs_inline() {
+        let b = NativeBackend::new(8);
+        let hits = AtomicUsize::new(0);
+        b.parallel_for_dynamic(3, 64, |r| {
+            hits.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+        b.parallel_for_dynamic(0, 16, |_| {
+            hits.fetch_add(1000, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn zero_chunk_rejected() {
+        NativeBackend::new(2).parallel_for_dynamic(10, 0, |_| {});
+    }
+
+    #[test]
+    fn host_parallelism_is_positive() {
+        assert!(NativeBackend::host_parallelism().nthreads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        NativeBackend::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_chunks_partition(n in 0usize..10_000, t in 1usize..64) {
+            let b = NativeBackend::new(t);
+            let chunks = b.static_chunks(n);
+            prop_assert_eq!(chunks.len(), t);
+            let mut expect = 0;
+            for c in &chunks {
+                prop_assert_eq!(c.start, expect);
+                expect = c.end;
+            }
+            prop_assert_eq!(expect, n);
+            // Near-equal: sizes differ by at most one.
+            let min = chunks.iter().map(|c| c.len()).min().unwrap();
+            let max = chunks.iter().map(|c| c.len()).max().unwrap();
+            prop_assert!(max - min <= 1);
+        }
+
+        #[test]
+        fn prop_reduce_matches_serial(n in 0usize..5_000, t in 1usize..8) {
+            let b = NativeBackend::new(t);
+            let total = b.parallel_reduce(
+                n,
+                0u64,
+                |range| range.map(|i| (i as u64).wrapping_mul(2654435761)).sum::<u64>(),
+                |a, c| a.wrapping_add(c),
+            );
+            let serial: u64 = (0..n).map(|i| (i as u64).wrapping_mul(2654435761)).sum();
+            prop_assert_eq!(total, serial);
+        }
+    }
+}

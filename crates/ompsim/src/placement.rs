@@ -1,0 +1,86 @@
+//! Mapping an [`EnvCombo`] onto a concrete node.
+
+use doe_memmodel::PlacementQuality;
+use doe_topo::NodeTopology;
+
+use crate::env::{EnvCombo, ThreadCount};
+
+/// Resolve an environment combination against a node topology into the
+/// placement quality the memory model prices.
+///
+/// Semantics follow the OpenMP runtime behaviour the paper's sweep relies
+/// on:
+///
+/// * `OMP_NUM_THREADS` resolves to 1, the physical core count, or the
+///   hardware-thread count.
+/// * More threads than cores means SMT sharing (`threads > cores_used`).
+/// * An unset `OMP_PROC_BIND` leaves threads migratable (`bound = false`),
+///   costing a machine-dependent efficiency factor.
+pub fn resolve_placement(topo: &NodeTopology, combo: &EnvCombo) -> PlacementQuality {
+    let cores = topo.core_count() as u32;
+    let hw_threads = topo.hw_thread_count() as u32;
+    let threads = match combo.num_threads {
+        ThreadCount::One => 1,
+        ThreadCount::Cores => cores,
+        ThreadCount::HwThreads => hw_threads,
+    };
+    PlacementQuality {
+        cores_used: threads.min(cores),
+        threads,
+        bound: combo.is_bound(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::EnvCombo;
+    use doe_topo::{NodeBuilder, NumaId, SocketId};
+
+    fn node(cores: u32, smt: u8) -> NodeTopology {
+        NodeBuilder::new("t")
+            .socket("CPU")
+            .numa(SocketId(0))
+            .cores(NumaId(0), cores, smt)
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn one_thread_uses_one_core() {
+        let t = node(24, 2);
+        let p = resolve_placement(&t, &EnvCombo::table1()[0]);
+        assert_eq!(p.cores_used, 1);
+        assert_eq!(p.threads, 1);
+        assert!(!p.bound);
+        let p2 = resolve_placement(&t, &EnvCombo::table1()[1]);
+        assert!(p2.bound);
+    }
+
+    #[test]
+    fn cores_combo_uses_all_cores_without_smt() {
+        let t = node(24, 2);
+        let p = resolve_placement(&t, &EnvCombo::table1()[3]);
+        assert_eq!(p.cores_used, 24);
+        assert_eq!(p.threads, 24);
+    }
+
+    #[test]
+    fn hwthreads_combo_oversubscribes_cores() {
+        let t = node(24, 2);
+        let p = resolve_placement(&t, &EnvCombo::table1()[7]);
+        assert_eq!(p.cores_used, 24);
+        assert_eq!(p.threads, 48);
+        assert!(p.bound);
+    }
+
+    #[test]
+    fn smt1_machines_have_equal_cores_and_threads() {
+        let t = node(36, 1);
+        for combo in EnvCombo::table1_all() {
+            let p = resolve_placement(&t, &combo);
+            assert_eq!(p.cores_used, 36);
+            assert_eq!(p.threads, 36);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Rank placement rules from §3.1 of the paper.
+
+use doe_topo::{CoreId, NodeTopology, SocketId};
+
+/// The "on-socket" pair: the first two cores of the first socket.
+///
+/// On single-socket machines (Xeon Phi in quad mode) this is the paper's
+/// "close" pair, cores 0 and 1.
+pub fn on_socket_pair(topo: &NodeTopology) -> Option<(CoreId, CoreId)> {
+    let first_socket = topo.sockets.first()?.id;
+    let cores = topo.cores_of_socket(first_socket);
+    if cores.len() < 2 {
+        return None;
+    }
+    Some((cores[0], cores[1]))
+}
+
+/// The "on-node" pair: first core of the first socket and first core of
+/// the second socket; on single-socket machines, the paper's "far" pair —
+/// cores 0 and N−1.
+pub fn on_node_pair(topo: &NodeTopology) -> Option<(CoreId, CoreId)> {
+    if topo.sockets.len() >= 2 {
+        let a = *topo.cores_of_socket(SocketId(0)).first()?;
+        let b = *topo.cores_of_socket(SocketId(1)).first()?;
+        Some((a, b))
+    } else {
+        let cores = topo.cores_of_socket(topo.sockets.first()?.id);
+        if cores.len() < 2 {
+            return None;
+        }
+        Some((cores[0], *cores.last()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doe_simtime::SimDuration;
+    use doe_topo::{LinkKind, NodeBuilder, NumaId, Vertex};
+
+    fn dual_socket() -> NodeTopology {
+        NodeBuilder::new("dual")
+            .socket("A")
+            .socket("B")
+            .numa(SocketId(0))
+            .numa(SocketId(1))
+            .cores(NumaId(0), 4, 1)
+            .cores(NumaId(1), 4, 1)
+            .link(
+                Vertex::Numa(NumaId(0)),
+                Vertex::Numa(NumaId(1)),
+                LinkKind::Upi,
+                SimDuration::from_ns(100.0),
+                40.0,
+            )
+            .build()
+            .expect("valid")
+    }
+
+    fn knl() -> NodeTopology {
+        NodeBuilder::new("knl")
+            .socket("Phi")
+            .numa(SocketId(0))
+            .cores(NumaId(0), 68, 4)
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn dual_socket_pairs() {
+        let t = dual_socket();
+        assert_eq!(on_socket_pair(&t), Some((CoreId(0), CoreId(1))));
+        assert_eq!(on_node_pair(&t), Some((CoreId(0), CoreId(4))));
+    }
+
+    #[test]
+    fn knl_far_pair_is_first_and_last_core() {
+        let t = knl();
+        assert_eq!(on_socket_pair(&t), Some((CoreId(0), CoreId(1))));
+        assert_eq!(on_node_pair(&t), Some((CoreId(0), CoreId(67))));
+    }
+
+    #[test]
+    fn single_core_machine_has_no_pairs() {
+        let t = NodeBuilder::new("uni")
+            .socket("tiny")
+            .numa(SocketId(0))
+            .cores(NumaId(0), 1, 1)
+            .build()
+            .expect("valid");
+        assert_eq!(on_socket_pair(&t), None);
+        assert_eq!(on_node_pair(&t), None);
+    }
+}

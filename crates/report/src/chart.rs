@@ -1,0 +1,296 @@
+//! A small SVG line-chart renderer for sweep curves.
+//!
+//! The paper's data is tabular, but the campaigns behind it are curves
+//! (message-size sweeps, size sweeps, contention series). This renderer
+//! produces self-contained SVG documents — no external tooling — for
+//! embedding in docs or viewing in a browser.
+
+use std::fmt::Write as _;
+
+/// Chart canvas width in pixels.
+const WIDTH: f64 = 720.0;
+/// Chart canvas height in pixels.
+const HEIGHT: f64 = 420.0;
+/// Margin reserved for axes and labels.
+const MARGIN: f64 = 60.0;
+/// Series stroke colours, cycled.
+const COLORS: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf",
+];
+
+/// One plotted series.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points; must be finite, and positive on log axes.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A line chart with optional logarithmic axes.
+#[derive(Clone, Debug)]
+pub struct LineChart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Series to plot.
+    pub series: Vec<Series>,
+    /// Base-10 logarithmic x axis.
+    pub log_x: bool,
+    /// Base-10 logarithmic y axis.
+    pub log_y: bool,
+}
+
+impl LineChart {
+    /// A linear-axis chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        LineChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            log_x: false,
+            log_y: false,
+        }
+    }
+
+    /// Add a series.
+    pub fn push_series(&mut self, name: impl Into<String>, points: Vec<(f64, f64)>) {
+        self.series.push(Series {
+            name: name.into(),
+            points,
+        });
+    }
+
+    fn tx(&self, v: f64) -> f64 {
+        if self.log_x {
+            v.log10()
+        } else {
+            v
+        }
+    }
+
+    fn ty(&self, v: f64) -> f64 {
+        if self.log_y {
+            v.log10()
+        } else {
+            v
+        }
+    }
+
+    /// Render to a standalone SVG document.
+    ///
+    /// # Panics
+    /// Panics if there are no plottable points, or if a log axis receives
+    /// a non-positive value.
+    pub fn to_svg(&self) -> String {
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
+        assert!(!pts.is_empty(), "chart has no points");
+        for &(x, y) in &pts {
+            assert!(x.is_finite() && y.is_finite(), "non-finite point");
+            if self.log_x {
+                assert!(x > 0.0, "log x axis requires positive values");
+            }
+            if self.log_y {
+                assert!(y > 0.0, "log y axis requires positive values");
+            }
+        }
+        let (mut x0, mut x1) = pts.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &(x, _)| {
+            (lo.min(self.tx(x)), hi.max(self.tx(x)))
+        });
+        let (mut y0, mut y1) = pts.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &(_, y)| {
+            (lo.min(self.ty(y)), hi.max(self.ty(y)))
+        });
+        if (x1 - x0).abs() < 1e-12 {
+            x0 -= 0.5;
+            x1 += 0.5;
+        }
+        if (y1 - y0).abs() < 1e-12 {
+            y0 -= 0.5;
+            y1 += 0.5;
+        }
+        let sx = |v: f64| MARGIN + (self.tx(v) - x0) / (x1 - x0) * (WIDTH - 2.0 * MARGIN);
+        let sy = |v: f64| HEIGHT - MARGIN - (self.ty(v) - y0) / (y1 - y0) * (HEIGHT - 2.0 * MARGIN);
+
+        let mut svg = String::new();
+        let _ = writeln!(
+            svg,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" height=\"{HEIGHT}\" \
+             viewBox=\"0 0 {WIDTH} {HEIGHT}\" font-family=\"sans-serif\" font-size=\"12\">"
+        );
+        let _ = writeln!(
+            svg,
+            "<rect width=\"{WIDTH}\" height=\"{HEIGHT}\" fill=\"white\"/>"
+        );
+        let _ = writeln!(
+            svg,
+            "<text x=\"{}\" y=\"24\" text-anchor=\"middle\" font-size=\"15\">{}</text>",
+            WIDTH / 2.0,
+            esc(&self.title)
+        );
+        // Axes.
+        let _ = writeln!(
+            svg,
+            "<line x1=\"{m}\" y1=\"{b}\" x2=\"{r}\" y2=\"{b}\" stroke=\"black\"/>\
+             <line x1=\"{m}\" y1=\"{t}\" x2=\"{m}\" y2=\"{b}\" stroke=\"black\"/>",
+            m = MARGIN,
+            r = WIDTH - MARGIN,
+            t = MARGIN,
+            b = HEIGHT - MARGIN
+        );
+        let _ = writeln!(
+            svg,
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>",
+            WIDTH / 2.0,
+            HEIGHT - 16.0,
+            esc(&self.x_label)
+        );
+        let _ = writeln!(
+            svg,
+            "<text x=\"16\" y=\"{}\" text-anchor=\"middle\" transform=\"rotate(-90 16 {})\">{}</text>",
+            HEIGHT / 2.0,
+            HEIGHT / 2.0,
+            esc(&self.y_label)
+        );
+        // Ticks: five per axis, in data units.
+        for i in 0..=4 {
+            let fx = x0 + (x1 - x0) * i as f64 / 4.0;
+            let gx = MARGIN + (WIDTH - 2.0 * MARGIN) * i as f64 / 4.0;
+            let label = if self.log_x { 10f64.powf(fx) } else { fx };
+            let _ = writeln!(
+                svg,
+                "<text x=\"{gx}\" y=\"{}\" text-anchor=\"middle\" font-size=\"10\">{}</text>",
+                HEIGHT - MARGIN + 16.0,
+                fmt_tick(label)
+            );
+            let fy = y0 + (y1 - y0) * i as f64 / 4.0;
+            let gy = HEIGHT - MARGIN - (HEIGHT - 2.0 * MARGIN) * i as f64 / 4.0;
+            let label = if self.log_y { 10f64.powf(fy) } else { fy };
+            let _ = writeln!(
+                svg,
+                "<text x=\"{}\" y=\"{gy}\" text-anchor=\"end\" font-size=\"10\">{}</text>",
+                MARGIN - 6.0,
+                fmt_tick(label)
+            );
+        }
+        // Series.
+        for (i, s) in self.series.iter().enumerate() {
+            if s.points.is_empty() {
+                continue;
+            }
+            let color = COLORS[i % COLORS.len()];
+            let path: Vec<String> = s
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.2},{:.2}", sx(x), sy(y)))
+                .collect();
+            let _ = writeln!(
+                svg,
+                "<polyline fill=\"none\" stroke=\"{color}\" stroke-width=\"2\" points=\"{}\"/>",
+                path.join(" ")
+            );
+            // Legend entry.
+            let ly = MARGIN + 8.0 + 18.0 * i as f64;
+            let _ = writeln!(
+                svg,
+                "<line x1=\"{x}\" y1=\"{ly}\" x2=\"{x2}\" y2=\"{ly}\" stroke=\"{color}\" stroke-width=\"2\"/>\
+                 <text x=\"{tx}\" y=\"{ty}\" font-size=\"11\">{name}</text>",
+                x = WIDTH - MARGIN - 150.0,
+                x2 = WIDTH - MARGIN - 126.0,
+                tx = WIDTH - MARGIN - 120.0,
+                ty = ly + 4.0,
+                name = esc(&s.name)
+            );
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e6 || v.abs() < 1e-2 {
+        format!("{v:.0e}")
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LineChart {
+        let mut c = LineChart::new("latency vs size", "bytes", "us");
+        c.log_x = true;
+        c.push_series("on-socket", vec![(1.0, 0.2), (1024.0, 0.4), (1e6, 10.0)]);
+        c.push_series("on-node", vec![(1.0, 0.4), (1024.0, 0.7), (1e6, 12.0)]);
+        c
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_complete() {
+        let svg = sample().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("on-socket"));
+        assert!(svg.contains("latency vs size"));
+        // Tag balance for elements we open/close explicitly.
+        assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let mut c = LineChart::new("a < b & c", "x", "y");
+        c.push_series("s<1>", vec![(0.0, 1.0), (1.0, 2.0)]);
+        let svg = c.to_svg();
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(svg.contains("s&lt;1&gt;"));
+        assert!(!svg.contains("a < b"));
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_divide_by_zero() {
+        let mut c = LineChart::new("flat", "x", "y");
+        c.push_series("s", vec![(1.0, 5.0), (1.0, 5.0)]);
+        let svg = c.to_svg();
+        assert!(svg.contains("<polyline"));
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no points")]
+    fn empty_chart_panics() {
+        LineChart::new("e", "x", "y").to_svg();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive values")]
+    fn log_axis_rejects_zero() {
+        let mut c = LineChart::new("bad", "x", "y");
+        c.log_x = true;
+        c.push_series("s", vec![(0.0, 1.0)]);
+        c.to_svg();
+    }
+}

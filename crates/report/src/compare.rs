@@ -1,0 +1,91 @@
+//! Paper-vs-measured comparison cells.
+
+use std::fmt;
+
+/// A published reference value paired with a simulated measurement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Comparison {
+    /// The paper's mean.
+    pub paper: f64,
+    /// Our simulated mean.
+    pub measured: f64,
+}
+
+impl Comparison {
+    /// Pair a paper value with a measurement.
+    pub fn new(paper: f64, measured: f64) -> Self {
+        Comparison { paper, measured }
+    }
+
+    /// `measured / paper`; infinite when the paper value is zero.
+    pub fn ratio(&self) -> f64 {
+        if self.paper == 0.0 {
+            if self.measured == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.measured / self.paper
+        }
+    }
+
+    /// Signed percentage deviation of measured from paper.
+    pub fn pct_delta(&self) -> f64 {
+        (self.ratio() - 1.0) * 100.0
+    }
+
+    /// True if the measurement is within `tol` relative tolerance.
+    pub fn within(&self, tol: f64) -> bool {
+        (self.ratio() - 1.0).abs() <= tol
+    }
+}
+
+impl fmt::Display for Comparison {
+    /// `paper → measured (+x.x%)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2} → {:.2} ({:+.1}%)",
+            self.paper,
+            self.measured,
+            self.pct_delta()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ratio_and_delta() {
+        let c = Comparison::new(10.0, 11.0);
+        assert!((c.ratio() - 1.1).abs() < 1e-12);
+        assert!((c.pct_delta() - 10.0).abs() < 1e-9);
+        assert!(c.within(0.12));
+        assert!(!c.within(0.05));
+    }
+
+    #[test]
+    fn zero_paper_value() {
+        assert_eq!(Comparison::new(0.0, 0.0).ratio(), 1.0);
+        assert!(Comparison::new(0.0, 1.0).ratio().is_infinite());
+    }
+
+    #[test]
+    fn display_format() {
+        let c = Comparison::new(12.91, 12.75);
+        assert_eq!(c.to_string(), "12.91 → 12.75 (-1.2%)");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_within_is_symmetric_around_exact(paper in 0.01f64..1e6) {
+            let c = Comparison::new(paper, paper);
+            prop_assert!(c.within(0.0));
+            prop_assert_eq!(c.pct_delta(), 0.0);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! A minimal table model with three renderers.
+
+use std::fmt::Write as _;
+
+/// A rectangular table with a title, headers, and string cells.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows; ragged rows are padded with empty cells when rendering.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// An empty table with a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let mut w = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            w[i] = w[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.chars().count());
+            }
+        }
+        w
+    }
+
+    fn cell(row: &[String], i: usize) -> &str {
+        row.get(i).map(String::as_str).unwrap_or("")
+    }
+
+    /// Fixed-width ASCII rendering for terminals.
+    pub fn to_ascii(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let rule: String = w
+            .iter()
+            .map(|&n| "-".repeat(n + 2))
+            .collect::<Vec<_>>()
+            .join("+");
+        let fmt_row = |cells: &[String]| -> String {
+            (0..w.len())
+                .map(|i| format!(" {:<width$} ", Self::cell(cells, i), width = w[i]))
+                .collect::<Vec<_>>()
+                .join("|")
+        };
+        let _ = writeln!(out, "{rule}");
+        let _ = writeln!(out, "{}", fmt_row(&self.headers));
+        let _ = writeln!(out, "{rule}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row));
+        }
+        let _ = writeln!(out, "{rule}");
+        out
+    }
+
+    /// GitHub-flavoured Markdown rendering.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "**{}**", self.title);
+        let _ = writeln!(out);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            let cells: Vec<&str> = (0..self.headers.len())
+                .map(|i| Self::cell(row, i))
+                .collect();
+            let _ = writeln!(out, "| {} |", cells.join(" | "));
+        }
+        out
+    }
+
+    /// RFC-4180-ish CSV rendering (quotes cells containing separators).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                (0..self.headers.len())
+                    .map(|i| esc(Self::cell(row, i)))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Table X: demo", &["Machine", "Value"]);
+        t.push_row(vec!["Frontier".into(), "1.51 ± 0.00".into()]);
+        t.push_row(vec!["Summit".into(), "4.84 ± 0.01".into()]);
+        t
+    }
+
+    #[test]
+    fn ascii_aligns_columns() {
+        let s = sample().to_ascii();
+        assert!(s.contains("Table X: demo"));
+        assert!(s.contains("Machine"));
+        let lines: Vec<&str> = s.lines().collect();
+        // All body lines have equal width.
+        let body: Vec<&str> = lines.iter().skip(1).copied().collect();
+        let lens: Vec<usize> = body.iter().map(|l| l.chars().count()).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "{lens:?}");
+    }
+
+    #[test]
+    fn markdown_has_header_separator() {
+        let s = sample().to_markdown();
+        assert!(s.contains("| Machine | Value |"));
+        assert!(s.contains("|---|---|"));
+        assert!(s.contains("| Frontier | 1.51 ± 0.00 |"));
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(vec!["x,y".into(), "say \"hi\"".into()]);
+        let s = t.to_csv();
+        assert!(s.contains("\"x,y\""));
+        assert!(s.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn ragged_rows_pad() {
+        let mut t = Table::new("t", &["a", "b", "c"]);
+        t.push_row(vec!["only".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("| only |  |  |"));
+    }
+}

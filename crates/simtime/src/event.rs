@@ -1,0 +1,215 @@
+//! A deterministic discrete-event queue.
+//!
+//! Completions of in-flight simulated work (DMA transfers, kernel
+//! executions, in-flight protocol messages) are scheduled here and popped in
+//! timestamp order. Ties are broken by insertion sequence so that runs are
+//! bit-for-bit reproducible regardless of heap internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event of payload `T` scheduled at a virtual instant.
+#[derive(Debug, Clone)]
+pub struct Scheduled<T> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Monotonic insertion index (FIFO among equal timestamps).
+    pub seq: u64,
+    /// The payload.
+    pub payload: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Scheduled<T> {}
+
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap behaviour inside BinaryHeap (earliest first,
+        // then lowest sequence number).
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-heap of timestamped events with deterministic FIFO tie-breaking.
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Scheduled<T>>,
+    next_seq: u64,
+    last_popped: SimTime,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Schedule `payload` to fire at `at`. Returns the event's sequence id.
+    pub fn schedule(&mut self, at: SimTime, payload: T) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+        seq
+    }
+
+    /// The timestamp of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the earliest event.
+    ///
+    /// # Panics
+    /// Panics if event timestamps would move backwards relative to a
+    /// previously popped event — that indicates a scheduling bug upstream.
+    pub fn pop(&mut self) -> Option<Scheduled<T>> {
+        let ev = self.heap.pop()?;
+        assert!(
+            ev.at >= self.last_popped,
+            "event queue time went backwards: {:?} after {:?}",
+            ev.at,
+            self.last_popped
+        );
+        self.last_popped = ev.at;
+        Some(ev)
+    }
+
+    /// Pop all events with timestamps `<= t`, earliest first.
+    pub fn pop_until(&mut self, t: SimTime) -> Vec<Scheduled<T>> {
+        let mut out = Vec::new();
+        while let Some(next) = self.peek_time() {
+            if next > t {
+                break;
+            }
+            out.push(self.pop().expect("peeked event vanished"));
+        }
+        out
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop every pending event (e.g. device reset).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use proptest::prelude::*;
+
+    fn t(us: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_us(us)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(3.0), "c");
+        q.schedule(t(1.0), "a");
+        q.schedule(t(2.0), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_timestamps_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(t(1.0), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_until_is_inclusive() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1.0), 1);
+        q.schedule(t(2.0), 2);
+        q.schedule(t(3.0), 3);
+        let popped = q.pop_until(t(2.0));
+        assert_eq!(popped.iter().map(|e| e.payload).collect::<Vec<_>>(), [1, 2]);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1.0), ());
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pop_order_is_sorted_and_stable(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &ps) in times.iter().enumerate() {
+                q.schedule(SimTime::from_ps(ps), i);
+            }
+            let mut prev: Option<(SimTime, usize)> = None;
+            while let Some(ev) = q.pop() {
+                if let Some((pt, pseq)) = prev {
+                    prop_assert!(ev.at >= pt);
+                    if ev.at == pt {
+                        // FIFO among equal timestamps
+                        prop_assert!(ev.payload > pseq);
+                    }
+                }
+                prev = Some((ev.at, ev.payload));
+            }
+        }
+
+        #[test]
+        fn prop_pop_until_partitions(times in proptest::collection::vec(0u64..1_000, 0..100), cut in 0u64..1_000) {
+            let mut q = EventQueue::new();
+            for &ps in &times {
+                q.schedule(SimTime::from_ps(ps), ps);
+            }
+            let popped = q.pop_until(SimTime::from_ps(cut));
+            prop_assert!(popped.iter().all(|e| e.at <= SimTime::from_ps(cut)));
+            prop_assert_eq!(popped.len() + q.len(), times.len());
+            if let Some(nt) = q.peek_time() {
+                prop_assert!(nt > SimTime::from_ps(cut));
+            }
+        }
+    }
+}

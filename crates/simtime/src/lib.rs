@@ -1,0 +1,37 @@
+//! Virtual time, discrete-event scheduling, and deterministic noise models.
+//!
+//! Everything in the `doebench` simulation stack is clocked by a virtual
+//! clock with **picosecond resolution**. Costs of simulated operations
+//! (a DMA setup, a link traversal, a kernel dispatch) are expressed as
+//! [`SimDuration`]s; the state machines in the runtime crates advance a
+//! [`Clock`] or schedule completions on an [`EventQueue`].
+//!
+//! Measurement noise — what turns a deterministic model into a distribution
+//! with a non-degenerate standard deviation across the paper's 100 "binary
+//! runs" — comes from [`noise::Jitter`], which perturbs each primitive cost
+//! with seeded, reproducible Gaussian multiplicative error.
+//!
+//! # Example
+//!
+//! ```
+//! use doe_simtime::{Clock, SimDuration};
+//!
+//! let mut clock = Clock::new();
+//! clock.advance(SimDuration::from_us(1.5));
+//! clock.advance(SimDuration::from_ns(500.0));
+//! assert_eq!(clock.now().as_us(), 2.0);
+//! ```
+
+pub mod clock;
+pub mod event;
+pub mod noise;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use clock::Clock;
+pub use event::{EventQueue, Scheduled};
+pub use noise::Jitter;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+pub use trace::{Span, Trace};

@@ -1,0 +1,224 @@
+//! Deterministic pseudo-random numbers for the simulation.
+//!
+//! Reproducibility is a hard requirement: the paper reports mean ± σ over
+//! 100 "binary runs", and we want `doebench table5` to print the same
+//! numbers on every invocation. [`SimRng`] is a small, self-contained
+//! xoshiro256**-style generator seeded by SplitMix64, with a string-keyed
+//! stream-derivation helper so independent subsystems (machine × benchmark
+//! × run-index) get decorrelated but stable streams.
+
+/// SplitMix64 step — used for seeding and stream derivation.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a hash of a byte string, for deriving stream keys from labels.
+#[inline]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A deterministic xoshiro256** pseudo-random generator.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    s: [u64; 4],
+    /// Cached second Gaussian variate from Box–Muller.
+    gauss_spare: Option<f64>,
+}
+
+impl SimRng {
+    /// Seed from a single `u64`.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng {
+            s,
+            gauss_spare: None,
+        }
+    }
+
+    /// Derive a stream for a labelled subsystem. Streams derived with
+    /// different labels or indices are statistically independent; the same
+    /// `(seed, label, index)` always produces the same stream.
+    pub fn stream(seed: u64, label: &str, index: u64) -> Self {
+        let key = fnv1a(label.as_bytes()) ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::from_seed(seed ^ key.rotate_left(17))
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)` with 53-bit precision.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    #[inline]
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)` via Lemire's multiply-shift (unbiased
+    /// enough for simulation jitter; not for cryptography).
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "SimRng::below(0)");
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Standard normal variate via Box–Muller (cached pair).
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        // Avoid u == 0 so ln() stays finite.
+        let u = loop {
+            let u = self.uniform();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let v = self.uniform();
+        let r = (-2.0 * u.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * v;
+        self.gauss_spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal variate with the given mean and standard deviation.
+    #[inline]
+    pub fn normal(&mut self, mean: f64, sigma: f64) -> f64 {
+        mean + sigma * self.gaussian()
+    }
+
+    /// Log-normal variate: `exp(N(mu, sigma))`.
+    #[inline]
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SimRng::from_seed(42);
+        let mut b = SimRng::from_seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::from_seed(1);
+        let mut b = SimRng::from_seed(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn streams_are_stable_and_distinct() {
+        let a1: Vec<u64> = {
+            let mut r = SimRng::stream(7, "frontier/osu", 3);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let a2: Vec<u64> = {
+            let mut r = SimRng::stream(7, "frontier/osu", 3);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SimRng::stream(7, "frontier/osu", 4);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+    }
+
+    #[test]
+    fn uniform_is_in_unit_interval() {
+        let mut r = SimRng::from_seed(9);
+        for _ in 0..10_000 {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut r = SimRng::from_seed(1234);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.gaussian()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.03, "var={var}");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut r = SimRng::from_seed(5);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean={mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        SimRng::from_seed(1).below(0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_below_in_range(seed in any::<u64>(), n in 1u64..1_000_000) {
+            let mut r = SimRng::from_seed(seed);
+            for _ in 0..32 {
+                prop_assert!(r.below(n) < n);
+            }
+        }
+
+        #[test]
+        fn prop_uniform_range_bounds(seed in any::<u64>(), lo in -1e6f64..1e6, span in 1e-3f64..1e6) {
+            let mut r = SimRng::from_seed(seed);
+            let hi = lo + span;
+            for _ in 0..32 {
+                let x = r.uniform_range(lo, hi);
+                prop_assert!(x >= lo && x < hi);
+            }
+        }
+    }
+}

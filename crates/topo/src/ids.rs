@@ -1,0 +1,115 @@
+//! Typed identifiers for topology components.
+//!
+//! Small newtypes keep core/socket/device indices from being confused with
+//! one another at compile time, at zero runtime cost.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A hardware thread's physical core.
+    CoreId, "core"
+);
+id_type!(
+    /// A CPU socket (package).
+    SocketId, "socket"
+);
+id_type!(
+    /// A NUMA domain (memory locality region).
+    NumaId, "numa"
+);
+id_type!(
+    /// An accelerator device as the runtime enumerates it (a GCD on MI250X).
+    DeviceId, "gpu"
+);
+id_type!(
+    /// An internal switch (PCIe switch / NVLink bridge point).
+    SwitchId, "switch"
+);
+
+/// A vertex of the node-topology link graph.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Vertex {
+    /// A NUMA domain (host memory + its cores).
+    Numa(NumaId),
+    /// An accelerator device.
+    Device(DeviceId),
+    /// An internal switch with no memory of its own.
+    Switch(SwitchId),
+}
+
+impl Vertex {
+    /// True if this vertex is a device.
+    pub fn is_device(self) -> bool {
+        matches!(self, Vertex::Device(_))
+    }
+
+    /// True if this vertex is host-side (a NUMA domain).
+    pub fn is_host(self) -> bool {
+        matches!(self, Vertex::Numa(_))
+    }
+}
+
+impl fmt::Display for Vertex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Vertex::Numa(n) => write!(f, "{n}"),
+            Vertex::Device(d) => write!(f, "{d}"),
+            Vertex::Switch(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(CoreId(3).to_string(), "core3");
+        assert_eq!(Vertex::Device(DeviceId(1)).to_string(), "gpu1");
+        assert_eq!(Vertex::Numa(NumaId(0)).to_string(), "numa0");
+        assert_eq!(Vertex::Switch(SwitchId(2)).to_string(), "switch2");
+    }
+
+    #[test]
+    fn vertex_kind_predicates() {
+        assert!(Vertex::Device(DeviceId(0)).is_device());
+        assert!(!Vertex::Device(DeviceId(0)).is_host());
+        assert!(Vertex::Numa(NumaId(0)).is_host());
+        assert!(!Vertex::Switch(SwitchId(0)).is_host());
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(CoreId(1) < CoreId(2));
+        assert_eq!(DeviceId::from(7).index(), 7);
+    }
+}

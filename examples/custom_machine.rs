@@ -1,0 +1,97 @@
+//! Model a machine that is *not* in the paper and benchmark it — the
+//! "what would the tables look like on my cluster?" workflow.
+//!
+//! Here: a hypothetical single-socket node with two H100-class GPUs on
+//! PCIe gen5 and NVLink4 between them.
+//!
+//! ```text
+//! cargo run --release --example custom_machine
+//! ```
+
+use std::sync::Arc;
+
+use doebench::commscope::{run_commscope, CommScopeConfig};
+use doebench::gpusim::GpuModel;
+use doebench::memmodel::{MemDomainModel, StreamOp};
+use doebench::osu::{on_socket_pair, osu_latency, OsuConfig};
+use doebench::simtime::{Jitter, SimDuration};
+use doebench::topo::{DeviceId, LinkKind, NodeBuilder, NumaId, SocketId, Vertex};
+
+fn us(x: f64) -> SimDuration {
+    SimDuration::from_us(x)
+}
+
+fn main() {
+    // -- Topology: 1 socket, 32 cores SMT2, 2 GPUs ----------------------
+    let topo = Arc::new(
+        NodeBuilder::new("hypothetical-h100-node")
+            .socket("Generic 32c CPU")
+            .numa(SocketId(0))
+            .cores(NumaId(0), 32, 2)
+            .devices("H100-class GPU", NumaId(0), 2)
+            .link(
+                Vertex::Numa(NumaId(0)),
+                Vertex::Device(DeviceId(0)),
+                LinkKind::Pcie { gen: 5, lanes: 16 },
+                us(0.45),
+                50.0,
+            )
+            .link(
+                Vertex::Numa(NumaId(0)),
+                Vertex::Device(DeviceId(1)),
+                LinkKind::Pcie { gen: 5, lanes: 16 },
+                us(0.45),
+                50.0,
+            )
+            .link(
+                Vertex::Device(DeviceId(0)),
+                Vertex::Device(DeviceId(1)),
+                LinkKind::NvLink { gen: 4, bricks: 6 },
+                us(0.5),
+                300.0,
+            )
+            .build()
+            .expect("valid custom topology"),
+    );
+    println!("{}", topo.render_ascii());
+
+    // -- Device model: HBM3-class ---------------------------------------
+    let mut hbm = MemDomainModel::new("HBM3 80GB", 3350.0, 60.0);
+    hbm.sustained_efficiency = 0.88;
+    let mut gpu = GpuModel::new("H100-class GPU", hbm);
+    gpu.launch_overhead = us(1.3);
+    gpu.sync_overhead = us(0.8);
+    gpu.stream_sync_overhead = us(0.8);
+    gpu.copy_setup_host = us(1.2);
+    gpu.copy_setup_peer = us(6.0);
+    gpu.jitter = Jitter::relative(0.005);
+    let models = vec![gpu; 2];
+
+    // -- BabelStream-style device bandwidth ------------------------------
+    println!("== device kernels ==");
+    for op in StreamOp::ALL {
+        println!("  {op:<6} {:>8.1} GB/s (model)", models[0].stream_bw(op));
+    }
+
+    // -- Comm|Scope -------------------------------------------------------
+    let cs = run_commscope(&topo, &models, &CommScopeConfig::quick(), 7);
+    println!("\n== Comm|Scope ==");
+    println!("  launch      : {:>7.2} us", cs.launch_us.mean);
+    println!("  wait        : {:>7.2} us", cs.wait_us.mean);
+    println!("  H2D/D2H lat : {:>7.2} us", cs.hd_latency_us.mean);
+    println!("  H2D/D2H bw  : {:>7.2} GB/s", cs.hd_bandwidth_gb_s.mean);
+    for (class, s) in &cs.d2d_latency_us {
+        println!("  D2D class {class}: {:>7.2} us", s.mean);
+    }
+
+    // -- Host MPI ---------------------------------------------------------
+    let mut mpi = doebench::mpi::MpiConfig::default_host();
+    mpi.jitter = Jitter::relative(0.01);
+    let cores = on_socket_pair(&topo).expect("pair");
+    let mut cfg = OsuConfig::quick();
+    cfg.sizes = vec![0, 1024, 65_536, 1 << 20];
+    println!("\n== OSU latency (host) ==");
+    for pt in osu_latency(&topo, &mpi, cores, &cfg, 11) {
+        println!("  {:>8} B : {:>8.2} us", pt.bytes, pt.one_way_us.mean);
+    }
+}

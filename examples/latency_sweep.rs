@@ -1,0 +1,79 @@
+//! The message-size sweeps behind the headline numbers: OSU latency and
+//! bandwidth curves on a chosen machine, including the eager/rendezvous
+//! knee (Appendix B.2 campaign).
+//!
+//! ```text
+//! cargo run --release --example latency_sweep            # Frontier
+//! cargo run --release --example latency_sweep -- Summit
+//! ```
+
+use doebench::osu::{on_node_pair, on_socket_pair, osu_bw, osu_latency, OsuConfig};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "Frontier".into());
+    let m = doebench::machines::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown machine {name}; try one of:");
+        for m in doebench::machines::all_machines() {
+            eprintln!("  {}", m.name);
+        }
+        std::process::exit(1);
+    });
+
+    let mut cfg = OsuConfig::paper();
+    cfg.reps = 10; // keep the example snappy; tables use 100
+    cfg.small_iters = 200;
+    cfg.large_iters = 20;
+
+    let socket = on_socket_pair(&m.topo).expect("pair");
+    let node = on_node_pair(&m.topo).expect("pair");
+    let lat_socket = osu_latency(&m.topo, &m.mpi, socket, &cfg, 1);
+    let lat_node = osu_latency(&m.topo, &m.mpi, node, &cfg, 2);
+    let bw = osu_bw(&m.topo, &m.mpi, socket, &cfg, 3);
+
+    println!(
+        "# OSU point-to-point sweep on {} (rank {})",
+        m.name, m.top500_rank
+    );
+    println!("# eager threshold: {} B", m.mpi.eager_threshold);
+    println!(
+        "{:>10} {:>14} {:>14} {:>12}",
+        "bytes", "on-socket(us)", "on-node(us)", "bw(GB/s)"
+    );
+    for (i, pt) in lat_socket.iter().enumerate() {
+        let node_us = lat_node[i].one_way_us.mean;
+        let bw_cell = bw
+            .iter()
+            .find(|b| b.bytes == pt.bytes)
+            .map(|b| format!("{:>12.3}", b.gb_s.mean))
+            .unwrap_or_else(|| format!("{:>12}", "-"));
+        println!(
+            "{:>10} {:>14.3} {:>14.3} {}",
+            pt.bytes, pt.one_way_us.mean, node_us, bw_cell
+        );
+    }
+    println!(
+        "\n(watch the latency step just past {} B: rendezvous)",
+        m.mpi.eager_threshold
+    );
+
+    // Multi-pair loading: the paper's one-rank-per-core convention.
+    let pair_counts = [1usize, 2, 4];
+    if let Some(pts) =
+        doebench::osu::osu_multi_lat(&m.topo, &m.mpi, &pair_counts, 64 * 1024, &cfg, 5)
+    {
+        println!("\n# osu_multi_lat, 64 KiB messages (shared copy-port contention)");
+        for p in pts {
+            println!("  {:>2} pairs: {:>8.3} us/msg", p.pairs, p.one_way_us.mean);
+        }
+    }
+    if let Some(pts) = doebench::osu::osu_mbw_mr(&m.topo, &m.mpi, &pair_counts, 64 * 1024, &cfg, 6)
+    {
+        println!("\n# osu_mbw_mr, 64 KiB messages");
+        for p in pts {
+            println!(
+                "  {:>2} pairs: {:>7.2} GB/s aggregate, {:>6.2} M msg/s",
+                p.pairs, p.aggregate_gb_s.mean, p.msg_rate_m_per_s.mean
+            );
+        }
+    }
+}

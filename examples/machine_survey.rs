@@ -1,0 +1,32 @@
+//! The full survey: regenerate Tables 4-7 for all 13 DOE machines and
+//! print paper-vs-measured comparisons.
+//!
+//! ```text
+//! cargo run --release --example machine_survey            # quick protocol
+//! cargo run --release --example machine_survey -- --full  # 100 reps, paper protocol
+//! ```
+
+use doebench::{experiments, table4, table5, table6, table7, Campaign};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let campaign = if full {
+        Campaign::paper()
+    } else {
+        Campaign::quick()
+    };
+    eprintln!(
+        "running the {} protocol over 13 machines...",
+        if full { "paper (100-rep)" } else { "quick" }
+    );
+
+    let results = experiments::run_all(&campaign);
+
+    println!("{}", table4::render(&results.table4).to_ascii());
+    println!("{}", table4::render_comparison(&results.table4).to_ascii());
+    println!("{}", table5::render(&results.table5).to_ascii());
+    println!("{}", table5::render_comparison(&results.table5).to_ascii());
+    println!("{}", table6::render(&results.table6).to_ascii());
+    println!("{}", table6::render_comparison(&results.table6).to_ascii());
+    println!("{}", table7::render(&results.table7).to_ascii());
+}

@@ -1,0 +1,49 @@
+//! Full native BabelStream with a thread-count sweep: how does *this*
+//! host's memory bandwidth scale, single thread to all threads?
+//!
+//! ```text
+//! cargo run --release --example native_stream              # default 8 Mi doubles
+//! cargo run --release --example native_stream -- 16777216  # custom element count
+//! ```
+
+use doebench::babelstream::{run_native, NativeStreamConfig};
+
+fn main() {
+    let elems: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8 * 1024 * 1024);
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!(
+        "# native BabelStream, {elems} doubles/array ({:.1} MiB), up to {max_threads} threads",
+        elems as f64 * 8.0 / (1024.0 * 1024.0)
+    );
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>10}  {:>4}",
+        "threads", "Copy", "Mul", "Add", "Triad", "Dot", "best",
+    );
+
+    let mut threads = 1usize;
+    loop {
+        let rep = run_native(&NativeStreamConfig {
+            elems,
+            iters: 10,
+            nthreads: Some(threads),
+        });
+        assert!(rep.verified, "verification failed at {threads} threads");
+        let cells: Vec<String> = rep
+            .best_bw
+            .iter()
+            .map(|(_, bw)| format!("{bw:>10.2}"))
+            .collect();
+        let (op, best) = rep.best_overall();
+        println!("{threads:>8} {}  {op} {best:.2} GB/s", cells.join(" "));
+        if threads >= max_threads {
+            break;
+        }
+        threads = (threads * 2).min(max_threads);
+    }
+}

@@ -1,0 +1,39 @@
+//! Quickstart: measure the host you are on, then a DOE machine model.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use doebench::babelstream::{run_native, NativeStreamConfig};
+use doebench::{table6, Campaign};
+
+fn main() {
+    // 1. The suite's original purpose: measure *this* machine.
+    println!("== BabelStream (native) on this host ==");
+    let rep = run_native(&NativeStreamConfig {
+        elems: 4 * 1024 * 1024, // 32 MiB per array
+        iters: 20,
+        nthreads: None, // all host parallelism
+    });
+    for (op, s) in &rep.per_op {
+        println!("  {op:<6} {:>8.2} GB/s (best {:.2})", s.mean, s.max);
+    }
+    let (op, bw) = rep.best_overall();
+    println!(
+        "  best: {op} at {bw:.2} GB/s on {} threads (verified: {})",
+        rep.nthreads, rep.verified
+    );
+
+    // 2. The reproduction: a paper machine on the simulator.
+    println!("\n== Comm|Scope (simulated) on Frontier ==");
+    let frontier = doebench::machines::by_name("Frontier").expect("model exists");
+    let row = table6::run_machine(&frontier, &Campaign::quick());
+    println!("  kernel launch : {:>8.2} us", row.launch_us.mean);
+    println!("  queue wait    : {:>8.2} us", row.wait_us.mean);
+    println!("  H2D/D2H lat   : {:>8.2} us", row.hd_latency_us.mean);
+    println!("  H2D/D2H bw    : {:>8.2} GB/s", row.hd_bandwidth_gb_s.mean);
+    for (class, s) in &row.d2d_latency_us {
+        println!("  D2D class {class} : {:>8.2} us", s.mean);
+    }
+    println!("\n(paper, Table 6: launch 1.51, wait 0.14, lat 12.91, bw 24.87)");
+}

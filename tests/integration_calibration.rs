@@ -1,0 +1,195 @@
+//! Calibration: simulated means vs. the paper's published means, per
+//! machine and per metric.
+//!
+//! Tolerances are deliberately asymmetric with EXPERIMENTS.md: headline
+//! metrics (the ones the paper's prose discusses) must land within a few
+//! percent; secondary cells (e.g. the MI250X D-class copies, whose routing
+//! the paper itself cannot explain) get a wider band. DESIGN.md "Known
+//! deviations" lists the cells excluded here.
+
+use doebench::machines::paper;
+use doebench::topo::LinkClass;
+use doebench::{table4, table5, table6, Campaign};
+
+fn close(paper: f64, got: f64, rel_tol: f64, what: &str) {
+    let rel = (got - paper).abs() / paper.abs().max(1e-12);
+    assert!(
+        rel <= rel_tol,
+        "{what}: measured {got:.3} vs paper {paper:.3} ({:.1}% off, tol {:.0}%)",
+        rel * 100.0,
+        rel_tol * 100.0
+    );
+}
+
+#[test]
+fn table4_all_machines_calibrated() {
+    let c = Campaign::quick();
+    for m in doebench::machines::cpu_machines() {
+        let row = table4::run_machine(&m, &c);
+        let p = paper::table4_row(m.name).expect("reference row");
+        close(
+            p.single.0,
+            row.single.mean,
+            0.08,
+            &format!("{} single", m.name),
+        );
+        close(p.all.0, row.all.mean, 0.08, &format!("{} all", m.name));
+        close(
+            p.on_socket.0,
+            row.on_socket.mean,
+            0.10,
+            &format!("{} on-socket", m.name),
+        );
+        close(
+            p.on_node.0,
+            row.on_node.mean,
+            0.10,
+            &format!("{} on-node", m.name),
+        );
+    }
+}
+
+#[test]
+fn table5_device_bandwidth_calibrated() {
+    let c = Campaign::quick();
+    for m in doebench::machines::gpu_machines() {
+        let row = table5::run_machine(&m, &c);
+        let p = paper::table5_row(m.name).expect("reference row");
+        close(
+            p.device_bw.0,
+            row.device_bw.mean,
+            0.08,
+            &format!("{} device bw", m.name),
+        );
+        close(
+            p.host_to_host.0,
+            row.host_to_host.mean,
+            0.12,
+            &format!("{} h2h", m.name),
+        );
+    }
+}
+
+#[test]
+fn table5_device_mpi_calibrated() {
+    let c = Campaign::quick();
+    let classes = [LinkClass::A, LinkClass::B, LinkClass::C, LinkClass::D];
+    for m in doebench::machines::gpu_machines() {
+        let row = table5::run_machine(&m, &c);
+        let p = paper::table5_row(m.name).expect("reference row");
+        for (i, class) in classes.iter().enumerate() {
+            if let (Some((mean, _)), Some(s)) = (p.d2d[i], row.d2d.get(class)) {
+                // Staged-path compromises (X-Bus latency serves both MPI
+                // and Comm|Scope) give the B class a wider band.
+                let tol = if *class == LinkClass::A { 0.10 } else { 0.25 };
+                close(mean, s.mean, tol, &format!("{} d2d {class}", m.name));
+            }
+        }
+    }
+}
+
+#[test]
+fn table6_launch_and_wait_calibrated() {
+    let c = Campaign::quick();
+    for m in doebench::machines::gpu_machines() {
+        let row = table6::run_machine(&m, &c);
+        let p = paper::table6_row(m.name).expect("reference row");
+        close(
+            p.launch.0,
+            row.launch_us.mean,
+            0.06,
+            &format!("{} launch", m.name),
+        );
+        close(
+            p.wait.0,
+            row.wait_us.mean,
+            0.10,
+            &format!("{} wait", m.name),
+        );
+        close(
+            p.hd_latency.0,
+            row.hd_latency_us.mean,
+            0.08,
+            &format!("{} hd latency", m.name),
+        );
+        close(
+            p.hd_bandwidth.0,
+            row.hd_bandwidth_gb_s.mean,
+            0.06,
+            &format!("{} hd bandwidth", m.name),
+        );
+    }
+}
+
+#[test]
+fn table6_d2d_classes_calibrated() {
+    let c = Campaign::quick();
+    let classes = [LinkClass::A, LinkClass::B, LinkClass::C, LinkClass::D];
+    for m in doebench::machines::gpu_machines() {
+        let row = table6::run_machine(&m, &c);
+        let p = paper::table6_row(m.name).expect("reference row");
+        for (i, class) in classes.iter().enumerate() {
+            if let (Some((mean, _)), Some(s)) = (p.d2d[i], row.d2d_latency_us.get(class)) {
+                // D-class copies on MI250X machines take a route the paper
+                // itself could not reconcile (D ~= A there); our router's
+                // cheapest path lands within ~10-30%. Documented deviation.
+                let tol = match *class {
+                    LinkClass::A => 0.08,
+                    LinkClass::B | LinkClass::C => 0.15,
+                    LinkClass::D => 0.35,
+                };
+                close(
+                    mean,
+                    s.mean,
+                    tol,
+                    &format!("{} commscope d2d {class}", m.name),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn table7_ranges_reproduce_paper_bands() {
+    // Check the printed Table 7 bands rather than single cells: each
+    // simulated range must overlap the paper's published range.
+    let c = Campaign::quick();
+    let t5 = table5::run(&c);
+    let t6 = table6::run(&c);
+    let rows = doebench::table7::summarize(&t5, &t6);
+    let paper_bands = [
+        // (label, memory bw, mpi lat, launch)
+        ("V100", (786.43, 861.40), (18.10, 19.76), (4.13, 4.84)),
+        ("A100", (1362.75, 1363.74), (10.42, 13.50), (1.77, 1.83)),
+        ("MI250X", (1291.38, 1336.81), (0.44, 0.50), (1.51, 2.16)),
+    ];
+    for (label, bw, mpi, launch) in paper_bands {
+        let row = rows
+            .iter()
+            .find(|r| r.accelerator.label() == label)
+            .expect("generation present");
+        let overlaps = |sim_min: f64, sim_max: f64, lo: f64, hi: f64| {
+            sim_min <= hi * 1.1 && sim_max >= lo * 0.9
+        };
+        assert!(
+            overlaps(row.memory_bw.min, row.memory_bw.max, bw.0, bw.1),
+            "{label} memory bw {:?} vs paper {bw:?}",
+            row.memory_bw
+        );
+        assert!(
+            overlaps(row.mpi_latency.min, row.mpi_latency.max, mpi.0, mpi.1),
+            "{label} mpi {:?} vs paper {mpi:?}",
+            row.mpi_latency
+        );
+        assert!(
+            overlaps(
+                row.kernel_launch.min,
+                row.kernel_launch.max,
+                launch.0,
+                launch.1
+            ),
+            "{label} launch {:?} vs paper {launch:?}",
+            row.kernel_launch
+        );
+    }
+}

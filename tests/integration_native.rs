@@ -1,0 +1,57 @@
+//! The native backend really measures this host: real arrays, real
+//! threads, real timers.
+
+use doebench::babelstream::{run_native, NativeStreamConfig};
+
+#[test]
+fn native_stream_runs_and_verifies_on_this_host() {
+    let rep = run_native(&NativeStreamConfig {
+        elems: 256 * 1024,
+        iters: 5,
+        nthreads: Some(2),
+    });
+    assert!(rep.verified, "kernel results diverged");
+    let (op, bw) = rep.best_overall();
+    // Any machine this runs on moves more than 0.5 GB/s and less than
+    // 10 TB/s through memory.
+    assert!(bw > 0.5 && bw < 10_000.0, "best {op}: {bw} GB/s");
+}
+
+#[test]
+fn native_multithreading_does_not_break_verification() {
+    for threads in [1usize, 2, 4] {
+        let rep = run_native(&NativeStreamConfig {
+            elems: 100_003, // odd size: exercises remainder chunks
+            iters: 3,
+            nthreads: Some(threads),
+        });
+        assert!(rep.verified, "{threads} threads");
+        assert_eq!(rep.nthreads, threads);
+    }
+}
+
+#[test]
+fn native_reports_all_five_kernels() {
+    let rep = run_native(&NativeStreamConfig::quick());
+    let names: Vec<&str> = rep.per_op.iter().map(|(op, _)| op.name()).collect();
+    assert_eq!(names, vec!["Copy", "Mul", "Add", "Triad", "Dot"]);
+    for (op, s) in &rep.per_op {
+        assert!(s.n >= 5, "{op}: n={}", s.n);
+        assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+}
+
+#[test]
+fn native_bandwidth_scales_sanely_with_size() {
+    // Not a performance assertion (CI noise), just that both sizes work
+    // and produce plausible numbers.
+    for elems in [64 * 1024usize, 1024 * 1024] {
+        let rep = run_native(&NativeStreamConfig {
+            elems,
+            iters: 3,
+            nthreads: Some(2),
+        });
+        assert!(rep.verified);
+        assert!(rep.best_overall().1 > 0.1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Cross-crate suite behaviour: figures, reports, determinism, and the
+//! machine registry's static tables.
+
+use doebench::{experiments, figures, Campaign};
+
+#[test]
+fn figures_1_to_3_render_in_both_formats() {
+    for f in 1..=3u8 {
+        let ascii = figures::render_ascii(f).expect("figure renders");
+        assert!(ascii.lines().count() > 10, "figure {f} too small");
+        let dot = figures::render_dot(f).expect("dot renders");
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+}
+
+#[test]
+fn figure_machines_match_the_paper_captions() {
+    assert_eq!(figures::figure_machine(1), Some("Frontier"));
+    assert_eq!(figures::figure_machine(2), Some("Summit"));
+    assert_eq!(figures::figure_machine(3), Some("Perlmutter"));
+}
+
+#[test]
+fn tables_2_3_8_9_come_from_the_registry() {
+    // Table 2: five CPU machines with the right locations.
+    let cpus = doebench::machines::cpu_machines();
+    let locs: Vec<&str> = cpus.iter().map(|m| m.location).collect();
+    assert_eq!(locs, vec!["LANL", "ANL", "INL", "NREL", "SNL"]);
+    // Table 3: eight GPU machines; Perlmutter uses 40GB A100s.
+    let gpus = doebench::machines::gpu_machines();
+    assert_eq!(gpus.len(), 8);
+    let perl = doebench::machines::by_name("Perlmutter").unwrap();
+    assert!(perl.gpu_models[0].hbm.name.contains("40GB"));
+    // Tables 8/9: every machine has a software environment; GPU machines
+    // have a device library.
+    for m in doebench::machines::all_machines() {
+        assert!(!m.software.compiler.is_empty());
+        assert!(!m.software.mpi.is_empty());
+        assert_eq!(m.software.device_library.is_some(), m.is_accelerated());
+    }
+}
+
+#[test]
+fn campaigns_are_deterministic_end_to_end() {
+    let c = Campaign::quick();
+    let m = doebench::machines::by_name("Tioga").unwrap();
+    let a = doebench::table6::run_machine(&m, &c);
+    let b = doebench::table6::run_machine(&m, &c);
+    assert_eq!(a.launch_us.mean, b.launch_us.mean);
+    assert_eq!(a.hd_latency_us.mean, b.hd_latency_us.mean);
+    let a5 = doebench::table5::run_machine(&m, &c);
+    let b5 = doebench::table5::run_machine(&m, &c);
+    assert_eq!(a5.device_bw.mean, b5.device_bw.mean);
+    assert_eq!(a5.host_to_host.std, b5.host_to_host.std);
+}
+
+#[test]
+fn sigma_is_nonzero_but_small_like_the_paper() {
+    let c = Campaign::quick();
+    let m = doebench::machines::by_name("Frontier").unwrap();
+    let row5 = doebench::table5::run_machine(&m, &c);
+    let row6 = doebench::table6::run_machine(&m, &c);
+    for (what, s) in [
+        ("device bw", &row5.device_bw),
+        ("h2h", &row5.host_to_host),
+        ("launch", &row6.launch_us),
+        ("hd latency", &row6.hd_latency_us),
+    ] {
+        assert!(s.std > 0.0, "{what}: zero sigma");
+        assert!(
+            s.rel_std() < 0.10,
+            "{what}: rel sigma {} too large",
+            s.rel_std()
+        );
+    }
+}
+
+#[test]
+fn markdown_report_is_complete_and_well_formed() {
+    let r = experiments::run_all(&Campaign::quick());
+    let md = experiments::render_markdown(&r);
+    // One regenerated table + one comparison table for 4/5/6, plus 7.
+    assert_eq!(md.matches("**Table 4").count(), 2);
+    assert_eq!(md.matches("**Table 5").count(), 2);
+    assert_eq!(md.matches("**Table 6").count(), 2);
+    assert_eq!(md.matches("**Table 7").count(), 1);
+    // Every pipe row balances.
+    for line in md.lines().filter(|l| l.starts_with('|')) {
+        assert!(line.ends_with('|'), "unterminated row: {line}");
+    }
+}
+
+#[test]
+fn csv_export_roundtrips_row_counts() {
+    let c = Campaign::quick();
+    let rows = vec![doebench::table6::run_machine(
+        &doebench::machines::by_name("Polaris").unwrap(),
+        &c,
+    )];
+    let table = doebench::table6::render(&rows);
+    let csv = table.to_csv();
+    assert_eq!(csv.lines().count(), 1 + rows.len());
+    assert!(csv.starts_with("Rank/Name,"));
+}
