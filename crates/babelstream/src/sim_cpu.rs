@@ -10,7 +10,7 @@
 //! Run-to-run variance is a common-mode factor per binary run (DVFS,
 //! OS noise): one jitter draw scales every kernel in that run.
 
-use doe_benchlib::{run_reps, Samples, Summary};
+use doe_benchlib::{parallel_map_indexed, Samples, Summary};
 use doe_memmodel::{MemDomainModel, StreamOp};
 use doe_omp::{resolve_placement, EnvCombo};
 use doe_simtime::{Clock, Jitter, SimDuration, SimRng};
@@ -48,12 +48,13 @@ pub fn run_sim_cpu(
     seed: u64,
     cfg: &SweepConfig,
 ) -> CpuStreamReport {
+    assert!(cfg.reps > 0, "need at least one repetition");
     let sizes = cfg.sizes();
     let combos = EnvCombo::table1();
-    let mut single_samples = Samples::new();
-    let mut last: Option<LastRun> = None;
 
-    let all_samples = run_reps(cfg.reps, |rep| {
+    // Each rep builds its own clock and RNG from the rep index, so reps
+    // are independent and can run on any pool worker in any order.
+    let per_rep = parallel_map_indexed(cfg.reps, |rep| {
         let mut rng = SimRng::stream(seed, &format!("babelstream-cpu/{}", topo.name), rep as u64);
         // Common-mode run factor.
         let factor = run_jitter.sample_scalar(1.0, &mut rng).max(0.05);
@@ -98,17 +99,22 @@ pub fn run_sim_cpu(
             }
             curve.push((n, best_at_size));
         }
-        single_samples.push(best_single);
-        last = Some((
+        let last: LastRun = (
             best_all_op,
             best_all_combo,
             curve,
             clock.now().since(doe_simtime::SimTime::ZERO),
-        ));
-        best_all
+        );
+        (best_single, best_all, last)
     });
 
-    let (best_all_op, best_all_combo, curve, campaign_time) = last.expect("at least one rep ran");
+    let single_samples: Samples = per_rep.iter().map(|(single, _, _)| *single).collect();
+    let all_samples: Samples = per_rep.iter().map(|(_, all, _)| *all).collect();
+    let (best_all_op, best_all_combo, curve, campaign_time) = per_rep
+        .into_iter()
+        .map(|(_, _, last)| last)
+        .next_back()
+        .expect("at least one rep ran");
     CpuStreamReport {
         single: single_samples.summary(),
         all: all_samples.summary(),

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use doe_benchlib::{run_reps, Summary};
+use doe_benchlib::{parallel_map_indexed, Samples, Summary};
 use doe_gpurt::GpuRuntime;
 use doe_gpusim::GpuModel;
 use doe_memmodel::StreamOp;
@@ -38,11 +38,12 @@ pub fn run_sim_gpu(
         topo.has_accelerators(),
         "GPU BabelStream requires an accelerator node"
     );
+    assert!(cfg.reps > 0, "need at least one repetition");
     let sizes = cfg.sizes();
-    let mut best_op = StreamOp::Copy;
-    let mut curve: Vec<(u64, f64)> = Vec::new();
 
-    let samples = run_reps(cfg.reps, |rep| {
+    // Each rep builds its own runtime from the rep index, so reps are
+    // independent and can run on any pool worker in any order.
+    let per_rep = parallel_map_indexed(cfg.reps, |rep| {
         let mut rt = GpuRuntime::new(
             Arc::clone(&topo),
             models.to_vec(),
@@ -51,7 +52,8 @@ pub fn run_sim_gpu(
         let dev = rt.current_device();
         let stream = rt.default_stream(dev).expect("device 0 exists");
         let mut best = 0.0f64;
-        curve.clear();
+        let mut best_op = StreamOp::Copy;
+        let mut curve: Vec<(u64, f64)> = Vec::with_capacity(sizes.len());
         for &n in &sizes {
             let mut best_at_size = 0.0f64;
             for &op in &StreamOp::ALL {
@@ -73,9 +75,11 @@ pub fn run_sim_gpu(
             }
             curve.push((n, best_at_size));
         }
-        best
+        (best, best_op, curve)
     });
 
+    let samples: Samples = per_rep.iter().map(|(best, _, _)| *best).collect();
+    let (_, best_op, curve) = per_rep.into_iter().next_back().expect("at least one rep");
     GpuStreamReport {
         device: samples.summary(),
         best_op,

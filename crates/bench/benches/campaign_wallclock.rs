@@ -1,0 +1,68 @@
+//! Wall-clock of the quick campaign, serial vs. parallel.
+//!
+//! Times Tables 4–7 end to end at `--jobs 1` (the serial oracle) and
+//! `--jobs 8`, verifies the rendered output is byte-identical, and writes
+//! the measurements to `benchmarks/campaign_wallclock.json` at the repo
+//! root so the speedup is a committed, reviewable artifact.
+//!
+//! `cargo bench -p doe-bench --bench campaign_wallclock`
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use doebench::benchlib::set_jobs;
+use doebench::{table4, table5, table6, table7, Campaign};
+
+/// Run the whole quick campaign once; returns the rendered tables.
+fn campaign() -> String {
+    let c = Campaign::quick();
+    let t4 = table4::run(&c);
+    let t5 = table5::run(&c);
+    let t6 = table6::run(&c);
+    let t7 = table7::summarize(&t5, &t6);
+    format!(
+        "{}\n{}\n{}\n{}\n",
+        table4::render(&t4).to_ascii(),
+        table5::render(&t5).to_ascii(),
+        table6::render(&t6).to_ascii(),
+        table7::render(&t7).to_ascii(),
+    )
+}
+
+/// Best-of-`reps` wall-clock in milliseconds at a given worker count.
+fn time_campaign(jobs: usize, reps: usize) -> (f64, String) {
+    set_jobs(jobs);
+    let mut best = f64::INFINITY;
+    let mut out = String::new();
+    for _ in 0..reps {
+        let start = Instant::now();
+        out = campaign();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, out)
+}
+
+fn main() {
+    // `cargo bench` passes harness flags (e.g. `--bench`); ignore them.
+    let reps = 3;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let (serial_ms, serial_out) = time_campaign(1, reps);
+    let (parallel_ms, parallel_out) = time_campaign(8, reps);
+    assert!(
+        serial_out == parallel_out,
+        "jobs=1 and jobs=8 rendered output diverged"
+    );
+    let speedup = serial_ms / parallel_ms;
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"campaign_wallclock\",\n  \"campaign\": \"quick\",\n  \"reps\": {reps},\n  \"host_cores\": {cores},\n  \"serial_jobs\": 1,\n  \"parallel_jobs\": 8,\n  \"serial_ms\": {serial_ms:.1},\n  \"parallel_ms\": {parallel_ms:.1},\n  \"speedup\": {speedup:.2},\n  \"output_identical\": true\n}}\n"
+    );
+    print!("{json}");
+
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../benchmarks");
+    std::fs::create_dir_all(&dir).expect("create benchmarks/");
+    let path = dir.join("campaign_wallclock.json");
+    std::fs::write(&path, &json).expect("write artifact");
+    eprintln!("wrote {}", path.display());
+}

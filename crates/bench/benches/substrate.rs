@@ -48,6 +48,22 @@ fn bench_substrate(c: &mut Criterion) {
             std::hint::black_box(acc)
         })
     });
+    g.bench_function("event_queue_1024_drain_until", |b| {
+        // The allocation-free bounded drain, vs. pop_until's per-call Vec.
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1024u64 {
+                q.schedule(SimTime::from_ps(i.wrapping_mul(2654435761) % 1_000_000), i);
+            }
+            let mut acc = 0u64;
+            for cut in (100_000..=1_000_000u64).step_by(100_000) {
+                q.drain_until(SimTime::from_ps(cut), |e| {
+                    acc = acc.wrapping_add(e.payload);
+                });
+            }
+            std::hint::black_box(acc)
+        })
+    });
     g.finish();
 
     // Topology routing on the densest machine.

@@ -16,7 +16,9 @@
 //!   determining how many operations to average for each test").
 
 pub mod harness;
+pub mod par;
 pub mod stats;
 
 pub use harness::{adaptive_iterations, run_reps, AdaptiveConfig};
+pub use par::{effective_jobs, parallel_map_indexed, run_reps_par, set_jobs};
 pub use stats::{Samples, Summary};

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::Serialize;
-
 /// A collection of scalar observations (one per outer benchmark run).
 #[derive(Debug, Clone, Default)]
 pub struct Samples {
@@ -114,7 +112,7 @@ impl FromIterator<f64> for Samples {
 
 /// Summary statistics of a sample collection — the paper's reporting unit
 /// is [`Summary::mean`] ± [`Summary::std`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Number of observations.
     pub n: usize,

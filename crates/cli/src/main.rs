@@ -22,6 +22,14 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     let full = args.iter().any(|a| a == "--full");
+    if let Some(i) = args.iter().position(|a| a == "--jobs") {
+        let jobs = args
+            .get(i + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| die("--jobs needs a positive integer"));
+        doebench::benchlib::set_jobs(jobs);
+    }
     let campaign = if full {
         Campaign::paper()
     } else {
@@ -425,6 +433,7 @@ fn print_help() {
          \x20 doebench extensions                  AMD/Arm/HBM CPUs (future work 3)\n\
          \x20 doebench variants [machine]          MPI implementations (future work 4)\n\n\
          options: --full  run the paper's 100-repetition protocol\n\
+         \x20        --jobs N  worker threads (default: all cores; DOEBENCH_JOBS env)\n\
          \x20        --md | --csv  alternative table renderings"
     );
 }

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use doe_benchlib::{adaptive_iterations, run_reps, Summary};
+use doe_benchlib::{adaptive_iterations, run_reps_par, Summary};
 use doe_gpurt::GpuRuntime;
 use doe_gpusim::GpuModel;
 use doe_topo::{DeviceId, NodeTopology};
@@ -22,7 +22,9 @@ pub fn launch_latency(
     cfg: &CommScopeConfig,
     seed: u64,
 ) -> Summary {
-    run_reps(cfg.reps, |rep| {
+    // Each rep builds its own runtime from the rep index, so reps can run
+    // on any pool worker in any order.
+    run_reps_par(cfg.reps, |rep| {
         let mut rt = GpuRuntime::new(Arc::clone(topo), models.to_vec(), rep_seed(seed, rep));
         rt.set_device(dev).expect("device exists");
         let stream = rt.default_stream(dev).expect("stream");
@@ -51,7 +53,7 @@ pub fn wait_latency(
     cfg: &CommScopeConfig,
     seed: u64,
 ) -> Summary {
-    run_reps(cfg.reps, |rep| {
+    run_reps_par(cfg.reps, |rep| {
         let mut rt = GpuRuntime::new(Arc::clone(topo), models.to_vec(), rep_seed(seed, rep));
         rt.set_device(dev).expect("device exists");
         let (_iters, per) = adaptive_iterations(cfg.adaptive, |n| {

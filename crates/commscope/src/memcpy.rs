@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use doe_benchlib::{adaptive_iterations, run_reps, Samples, Summary};
+use doe_benchlib::{adaptive_iterations, parallel_map_indexed, run_reps_par, Samples, Summary};
 use doe_gpurt::{Buffer, GpuRuntime};
 use doe_gpusim::GpuModel;
 use doe_topo::{DeviceId, LinkClass, NodeTopology};
@@ -49,15 +49,15 @@ fn copy_time_us(
 fn transfer_between(
     topo: &Arc<NodeTopology>,
     models: &[GpuModel],
-    make_bufs: impl Fn(u64) -> (Buffer, Buffer),
+    make_bufs: impl Fn(u64) -> (Buffer, Buffer) + Sync,
     exec_dev: DeviceId,
     cfg: &CommScopeConfig,
     seed: u64,
     label: u64,
 ) -> Transfer {
-    let mut lat = Samples::new();
-    let mut bw = Samples::new();
-    for rep in 0..cfg.reps {
+    // Each rep builds its own runtime and buffers from the rep index, so
+    // reps can run on any pool worker in any order.
+    let per_rep = parallel_map_indexed(cfg.reps, |rep| {
         let mut rt = GpuRuntime::new(
             Arc::clone(topo),
             models.to_vec(),
@@ -65,14 +65,7 @@ fn transfer_between(
         );
         rt.set_device(exec_dev).expect("device exists");
         let (dst, src) = make_bufs(cfg.latency_bytes.max(cfg.bandwidth_bytes));
-        lat.push(copy_time_us(
-            &mut rt,
-            &dst,
-            &src,
-            cfg.latency_bytes,
-            exec_dev,
-            cfg,
-        ));
+        let lat = copy_time_us(&mut rt, &dst, &src, cfg.latency_bytes, exec_dev, cfg);
         // Bandwidth: one large copy is its own batch (it exceeds the
         // adaptive target by orders of magnitude).
         let stream = rt.default_stream(exec_dev).expect("stream");
@@ -81,8 +74,10 @@ fn transfer_between(
             .expect("copy");
         rt.stream_synchronize(&stream).expect("sync");
         let dt = rt.now().since(t0);
-        bw.push(dt.bandwidth_gb_s(cfg.bandwidth_bytes));
-    }
+        (lat, dt.bandwidth_gb_s(cfg.bandwidth_bytes))
+    });
+    let lat: Samples = per_rep.iter().map(|&(lat, _)| lat).collect();
+    let bw: Samples = per_rep.iter().map(|&(_, bw)| bw).collect();
     Transfer {
         latency_us: lat.summary(),
         bandwidth_gb_s: bw.summary(),
@@ -169,7 +164,7 @@ pub fn d2d_bandwidth_by_class(
     topo.representative_pairs()
         .into_iter()
         .map(|(class, (src, dst))| {
-            let samples = run_reps(cfg.reps, |rep| {
+            let samples = run_reps_par(cfg.reps, |rep| {
                 let mut rt = GpuRuntime::new(
                     Arc::clone(topo),
                     models.to_vec(),
@@ -202,7 +197,7 @@ pub fn duplex_bandwidth(
     seed: u64,
 ) -> Summary {
     let numa = topo.device(dev).expect("device exists").local_numa;
-    run_reps(cfg.reps, |rep| {
+    run_reps_par(cfg.reps, |rep| {
         let mut rt = GpuRuntime::new(
             Arc::clone(topo),
             models.to_vec(),
@@ -237,7 +232,7 @@ pub fn d2d_latency_by_class(
     topo.representative_pairs()
         .into_iter()
         .map(|(class, (src, dst))| {
-            let samples = run_reps(cfg.reps, |rep| {
+            let samples = run_reps_par(cfg.reps, |rep| {
                 let mut rt = GpuRuntime::new(
                     Arc::clone(topo),
                     models.to_vec(),

@@ -46,9 +46,18 @@ impl Campaign {
     }
 
     /// Derive a benchmark-specific seed.
+    ///
+    /// A 0xFF delimiter (never valid UTF-8, so it cannot occur in either
+    /// string) is hashed between `machine` and `bench` so the pair is
+    /// injective: without it `("ab", "c")` and `("a", "bc")` would hash
+    /// the same byte stream and collide.
     pub fn seed_for(&self, machine: &str, bench: &str) -> u64 {
         let mut h: u64 = self.seed ^ 0xCBF2_9CE4_8422_2325;
-        for b in machine.bytes().chain(bench.bytes()) {
+        let delimited = machine
+            .bytes()
+            .chain(std::iter::once(0xFF))
+            .chain(bench.bytes());
+        for b in delimited {
             h ^= b as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
@@ -86,5 +95,14 @@ mod tests {
             c.seed_for("Frontier", "stream")
         );
         assert_eq!(c.seed_for("Frontier", "osu"), c.seed_for("Frontier", "osu"));
+    }
+
+    #[test]
+    fn split_point_distinguishes_seeds() {
+        // Without a delimiter these two pairs hash the same byte stream.
+        let c = Campaign::paper();
+        assert_ne!(c.seed_for("ab", "c"), c.seed_for("a", "bc"));
+        assert_ne!(c.seed_for("Crusher", "osu"), c.seed_for("Crushero", "su"));
+        assert_ne!(c.seed_for("x", ""), c.seed_for("", "x"));
     }
 }

@@ -1,12 +1,13 @@
 //! Table 4: memory bandwidth and MPI latency on non-accelerator machines.
 
-use doe_babelstream::run_sim_cpu;
+use doe_babelstream::{run_sim_cpu, CpuStreamReport};
 use doe_benchlib::Summary;
 use doe_machines::{paper, Machine};
 use doe_osu::{on_node_pair, on_socket_pair, osu_latency};
 use doe_report::{pm_summary, Comparison, Table};
 
 use crate::campaign::Campaign;
+use crate::sched::run_cells;
 
 /// One regenerated row of Table 4.
 #[derive(Clone, Debug)]
@@ -27,52 +28,88 @@ pub struct Row {
     pub on_node: Summary,
 }
 
-/// Run the Table 4 benchmarks for one CPU machine.
-pub fn run_machine(m: &Machine, c: &Campaign) -> Row {
-    assert!(!m.is_accelerated(), "Table 4 covers CPU machines");
-    let stream = run_sim_cpu(
+/// The BabelStream cell of one row.
+fn stream_cell(m: &Machine, c: &Campaign) -> CpuStreamReport {
+    run_sim_cpu(
         &m.topo,
         &m.host_mem,
         m.host_stream_jitter,
         c.seed_for(m.name, "babelstream"),
         &c.stream_cpu,
-    );
-    let socket_pair = on_socket_pair(&m.topo).expect("machine has >= 2 cores");
-    let node_pair = on_node_pair(&m.topo).expect("machine has >= 2 cores");
-    let on_socket = osu_latency(
-        &m.topo,
-        &m.mpi,
-        socket_pair,
-        &c.osu,
-        c.seed_for(m.name, "osu-socket"),
     )
-    .remove(0)
-    .one_way_us;
-    let on_node = osu_latency(
-        &m.topo,
-        &m.mpi,
-        node_pair,
-        &c.osu,
-        c.seed_for(m.name, "osu-node"),
-    )
-    .remove(0)
-    .one_way_us;
+}
+
+/// One OSU latency cell: the pair layout names the bench for seeding.
+fn latency_cell(m: &Machine, c: &Campaign, bench: &str) -> Summary {
+    let cores = match bench {
+        "osu-socket" => on_socket_pair(&m.topo),
+        "osu-node" => on_node_pair(&m.topo),
+        _ => unreachable!("table 4 latency cells"),
+    }
+    .expect("machine has >= 2 cores");
+    osu_latency(&m.topo, &m.mpi, cores, &c.osu, c.seed_for(m.name, bench))
+        .remove(0)
+        .one_way_us
+}
+
+/// Run the Table 4 benchmarks for one CPU machine.
+pub fn run_machine(m: &Machine, c: &Campaign) -> Row {
+    assert!(!m.is_accelerated(), "Table 4 covers CPU machines");
+    let stream = stream_cell(m, c);
     Row {
         label: m.table_label(),
         machine: m.name.to_string(),
         single: stream.single,
         all: stream.all,
         peak: m.host_peak_citation,
-        on_socket,
-        on_node,
+        on_socket: latency_cell(m, c, "osu-socket"),
+        on_node: latency_cell(m, c, "osu-node"),
     }
 }
 
-/// Run all CPU machines.
+/// Per-cell results, reassembled into a row after the grid runs.
+enum Cell {
+    Stream(CpuStreamReport),
+    Latency(Summary),
+}
+
+/// Run all CPU machines: the (machine × cell) grid fans out over the
+/// worker pool, and rows assemble in canonical machine order.
 pub fn run(c: &Campaign) -> Vec<Row> {
-    doe_machines::cpu_machines()
+    let machines = doe_machines::cpu_machines();
+    let grid: Vec<(usize, &str)> = (0..machines.len())
+        .flat_map(|mi| {
+            ["babelstream", "osu-socket", "osu-node"]
+                .into_iter()
+                .map(move |bench| (mi, bench))
+        })
+        .collect();
+    let mut results = run_cells(&grid, |&(mi, bench)| {
+        let m = &machines[mi];
+        match bench {
+            "babelstream" => Cell::Stream(stream_cell(m, c)),
+            _ => Cell::Latency(latency_cell(m, c, bench)),
+        }
+    })
+    .into_iter();
+    machines
         .iter()
-        .map(|m| run_machine(m, c))
+        .map(|m| {
+            let (Some(Cell::Stream(stream)), Some(Cell::Latency(on_socket)), Some(Cell::Latency(on_node))) =
+                (results.next(), results.next(), results.next())
+            else {
+                unreachable!("three cells per machine, in order");
+            };
+            Row {
+                label: m.table_label(),
+                machine: m.name.to_string(),
+                single: stream.single,
+                all: stream.all,
+                peak: m.host_peak_citation,
+                on_socket,
+                on_node,
+            }
+        })
         .collect()
 }
 

@@ -6,6 +6,7 @@ use doe_report::{pm_summary, Comparison, Table};
 use doe_topo::LinkClass;
 
 use crate::campaign::Campaign;
+use crate::sched::run_cells;
 
 /// One regenerated row of Table 6.
 #[derive(Clone, Debug)]
@@ -41,12 +42,11 @@ pub fn run_machine(m: &Machine, c: &Campaign) -> Row {
     }
 }
 
-/// Run all GPU machines.
+/// Run all GPU machines: one Comm|Scope cell per machine, fanned over the
+/// worker pool in canonical machine order.
 pub fn run(c: &Campaign) -> Vec<Row> {
-    doe_machines::gpu_machines()
-        .iter()
-        .map(|m| run_machine(m, c))
-        .collect()
+    let machines = doe_machines::gpu_machines();
+    run_cells(&machines, |m| run_machine(m, c))
 }
 
 fn class_cell(r: &Row, class: LinkClass) -> String {

@@ -7,8 +7,8 @@
 //! chunk, and the region joins before returning — so each timed kernel has
 //! exactly one fork-join, like BabelStream's OpenMP backend.
 //!
-//! Threads are spawned per region via `crossbeam::thread::scope`, which
-//! keeps the implementation safe (no lifetime erasure) at a small,
+//! Threads are spawned per region via `std::thread::scope`, which keeps
+//! the implementation safe (no lifetime erasure) at a small,
 //! OpenMP-comparable region overhead.
 
 use std::ops::Range;
@@ -65,16 +65,15 @@ impl NativeBackend {
             return;
         }
         let chunks = self.static_chunks(n);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             // The calling thread takes the first chunk, like an OpenMP
             // master thread participating in the team.
             for chunk in chunks.iter().skip(1).cloned() {
                 let body = &body;
-                s.spawn(move |_| body(chunk));
+                s.spawn(move || body(chunk));
             }
             body(chunks[0].clone());
-        })
-        .expect("worker panicked");
+        });
     }
 
     /// Run `body` over `[0, n)` with a dynamic schedule (cf.
@@ -101,14 +100,13 @@ impl NativeBackend {
             }
             body(start..(start + chunk).min(n));
         };
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for t in 1..self.nthreads {
                 let worker = &worker;
-                s.spawn(move |_| worker(t));
+                s.spawn(move || worker(t));
             }
             worker(0);
-        })
-        .expect("worker panicked");
+        });
     }
 
     /// Parallel map-reduce over `[0, n)`: each thread folds its chunk with
@@ -123,14 +121,14 @@ impl NativeBackend {
             return reduce(identity, map(0..n));
         }
         let chunks = self.static_chunks(n);
-        let partials = crossbeam::thread::scope(|s| {
+        let partials = std::thread::scope(|s| {
             let handles: Vec<_> = chunks
                 .iter()
                 .skip(1)
                 .cloned()
                 .map(|chunk| {
                     let map = &map;
-                    s.spawn(move |_| map(chunk))
+                    s.spawn(move || map(chunk))
                 })
                 .collect();
             let mut results = vec![map(chunks[0].clone())];
@@ -138,8 +136,7 @@ impl NativeBackend {
                 results.push(h.join().expect("worker panicked"));
             }
             results
-        })
-        .expect("worker panicked");
+        });
         partials.into_iter().fold(identity, &reduce)
     }
 }

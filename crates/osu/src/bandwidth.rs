@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use doe_benchlib::{run_reps, Summary};
+use doe_benchlib::{run_reps_par, Summary};
 use doe_mpi::{MpiConfig, MpiSim};
 use doe_topo::{CoreId, NodeTopology};
 
@@ -42,7 +42,9 @@ pub fn osu_bw(
         .filter(|&&b| b > 0)
         .map(|&bytes| {
             let iters = cfg.iters_for(bytes);
-            let samples = run_reps(cfg.reps, |rep| {
+            // Each rep builds its own sim world from the rep index, so
+            // reps can run on any pool worker in any order.
+            let samples = run_reps_par(cfg.reps, |rep| {
                 let mut world = MpiSim::new(
                     Arc::clone(topo),
                     mpi.clone(),

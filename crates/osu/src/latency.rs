@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use doe_benchlib::{run_reps, Summary};
+use doe_benchlib::{run_reps_par, Summary};
 use doe_mpi::{MpiConfig, MpiSim, Rank};
 use doe_topo::{CoreId, DeviceId, NodeTopology};
 
@@ -73,7 +73,9 @@ fn run_campaign(
         .iter()
         .map(|&bytes| {
             let iters = cfg.iters_for(bytes);
-            let samples = run_reps(cfg.reps, |rep| {
+            // Each rep builds its own sim world from the rep index, so
+            // reps can run on any pool worker in any order.
+            let samples = run_reps_par(cfg.reps, |rep| {
                 let (mut world, a, b) = build_pair(
                     topo,
                     mpi,

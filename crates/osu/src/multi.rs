@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use doe_benchlib::{run_reps, Summary};
+use doe_benchlib::{parallel_map_indexed, run_reps_par, Samples, Summary};
 use doe_mpi::{MpiConfig, MpiSim, Rank};
 use doe_topo::NodeTopology;
 
@@ -68,7 +68,9 @@ pub fn osu_multi_lat(
         pair_counts
             .iter()
             .map(|&pairs| {
-                let samples = run_reps(cfg.reps, |rep| {
+                // Each rep builds its own sim world from the rep index,
+                // so reps can run on any pool worker in any order.
+                let samples = run_reps_par(cfg.reps, |rep| {
                     let (mut world, rank_pairs) = build_pairs(
                         topo,
                         mpi,
@@ -142,9 +144,9 @@ pub fn osu_mbw_mr(
         pair_counts
             .iter()
             .map(|&pairs| {
-                let mut bw = doe_benchlib::Samples::new();
-                let mut rate = doe_benchlib::Samples::new();
-                for rep in 0..cfg.reps {
+                // One (bandwidth, message-rate) pair per rep, collected in
+                // rep order so the Samples match the serial loop exactly.
+                let per_rep = parallel_map_indexed(cfg.reps, |rep| {
                     let (mut world, rank_pairs) = build_pairs(
                         topo,
                         mpi,
@@ -173,9 +175,13 @@ pub fn osu_mbw_mr(
                     world.barrier();
                     let elapsed = world.time(rank_pairs[0].0).expect("rank").since(start);
                     let messages = pairs as u64 * WINDOW as u64 * iters as u64;
-                    bw.push(elapsed.bandwidth_gb_s(messages * bytes));
-                    rate.push(messages as f64 / elapsed.as_secs() / 1e6);
-                }
+                    (
+                        elapsed.bandwidth_gb_s(messages * bytes),
+                        messages as f64 / elapsed.as_secs() / 1e6,
+                    )
+                });
+                let bw: Samples = per_rep.iter().map(|&(bw, _)| bw).collect();
+                let rate: Samples = per_rep.iter().map(|&(_, rate)| rate).collect();
                 MbwMrPoint {
                     pairs,
                     aggregate_gb_s: bw.summary(),

@@ -99,15 +99,25 @@ impl<T> EventQueue<T> {
         Some(ev)
     }
 
-    /// Pop all events with timestamps `<= t`, earliest first.
-    pub fn pop_until(&mut self, t: SimTime) -> Vec<Scheduled<T>> {
-        let mut out = Vec::new();
+    /// Pop all events with timestamps `<= t`, earliest first, handing each
+    /// to `sink` without building an intermediate `Vec` — the
+    /// allocation-free form for hot event loops.
+    pub fn drain_until(&mut self, t: SimTime, mut sink: impl FnMut(Scheduled<T>)) {
         while let Some(next) = self.peek_time() {
             if next > t {
                 break;
             }
-            out.push(self.pop().expect("peeked event vanished"));
+            sink(self.pop().expect("peeked event vanished"));
         }
+    }
+
+    /// Pop all events with timestamps `<= t`, earliest first.
+    ///
+    /// Allocates a fresh `Vec` per call; prefer [`Self::drain_until`] in
+    /// loops that run per simulated operation.
+    pub fn pop_until(&mut self, t: SimTime) -> Vec<Scheduled<T>> {
+        let mut out = Vec::new();
+        self.drain_until(t, |ev| out.push(ev));
         out
     }
 
@@ -166,6 +176,20 @@ mod tests {
         let popped = q.pop_until(t(2.0));
         assert_eq!(popped.iter().map(|e| e.payload).collect::<Vec<_>>(), [1, 2]);
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn drain_until_visits_in_order_without_collecting() {
+        let mut q = EventQueue::new();
+        q.schedule(t(2.0), 2);
+        q.schedule(t(1.0), 1);
+        q.schedule(t(3.0), 3);
+        let mut seen = Vec::new();
+        q.drain_until(t(2.0), |ev| seen.push(ev.payload));
+        assert_eq!(seen, [1, 2]);
+        assert_eq!(q.len(), 1);
+        // Nothing at or before the cut: sink never runs.
+        q.drain_until(t(2.5), |_| unreachable!("no events <= 2.5 us left"));
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! The parallel executor's core contract: a campaign's rendered output is
+//! byte-identical at any worker count. `--jobs 1` is the serial oracle;
+//! `--jobs 8` oversubscribes the grid so chunk boundaries differ from any
+//! natural core count.
+//!
+//! Kept in one `#[test]` because the jobs override is process-global.
+
+use doebench::benchlib::set_jobs;
+use doebench::{table4, table5, table6, table7, Campaign};
+
+/// Every rendered table at the given worker count, concatenated.
+fn campaign_output(jobs: usize) -> String {
+    set_jobs(jobs);
+    let c = Campaign::quick();
+    let t4 = table4::run(&c);
+    let t5 = table5::run(&c);
+    let t6 = table6::run(&c);
+    let t7 = table7::summarize(&t5, &t6);
+    format!(
+        "{}\n{}\n{}\n{}\n",
+        table4::render(&t4).to_ascii(),
+        table5::render(&t5).to_ascii(),
+        table6::render(&t6).to_ascii(),
+        table7::render(&t7).to_ascii(),
+    )
+}
+
+#[test]
+fn rendered_tables_are_byte_identical_across_job_counts() {
+    let serial = campaign_output(1);
+    let parallel = campaign_output(8);
+    // Sanity: the campaign actually produced every table before comparing.
+    for needle in ["Table 4", "Table 5", "Table 6", "Table 7"] {
+        assert!(serial.contains(needle), "missing {needle} in output");
+    }
+    assert!(
+        serial == parallel,
+        "jobs=1 and jobs=8 rendered output diverged:\n--- jobs=1 ---\n{serial}\n--- jobs=8 ---\n{parallel}"
+    );
+}
