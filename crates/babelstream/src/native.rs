@@ -118,6 +118,9 @@ pub fn run_native(cfg: &NativeStreamConfig) -> NativeStreamReport {
 fn kernel_copy(be: &NativeBackend, a: &[f64], c: &mut [f64]) {
     let cp = as_send_ptr(c);
     be.parallel_for(a.len(), |r| {
+        // SAFETY: `parallel_for`'s static schedule hands each worker a
+        // distinct chunk of 0..len, so `r` is in bounds for `c` (same
+        // length as `a`) and no other worker holds a slice overlapping it.
         let c = unsafe { cp.slice(r.clone()) };
         c.copy_from_slice(&a[r]);
     });
@@ -126,6 +129,8 @@ fn kernel_copy(be: &NativeBackend, a: &[f64], c: &mut [f64]) {
 fn kernel_mul(be: &NativeBackend, b: &mut [f64], c: &[f64]) {
     let bp = as_send_ptr(b);
     be.parallel_for(c.len(), |r| {
+        // SAFETY: chunks from `parallel_for` are disjoint and within
+        // 0..c.len() == 0..b.len(); only this worker touches `b[r]`.
         let b = unsafe { bp.slice(r.clone()) };
         for (bi, &ci) in b.iter_mut().zip(&c[r]) {
             *bi = SCALAR * ci;
@@ -136,6 +141,8 @@ fn kernel_mul(be: &NativeBackend, b: &mut [f64], c: &[f64]) {
 fn kernel_add(be: &NativeBackend, a: &[f64], b: &[f64], c: &mut [f64]) {
     let cp = as_send_ptr(c);
     be.parallel_for(a.len(), |r| {
+        // SAFETY: chunks from `parallel_for` are disjoint and within
+        // 0..a.len() == 0..c.len(); only this worker writes `c[r]`.
         let c = unsafe { cp.slice(r.clone()) };
         for ((ci, &ai), &bi) in c.iter_mut().zip(&a[r.clone()]).zip(&b[r]) {
             *ci = ai + bi;
@@ -146,6 +153,8 @@ fn kernel_add(be: &NativeBackend, a: &[f64], b: &[f64], c: &mut [f64]) {
 fn kernel_triad(be: &NativeBackend, a: &mut [f64], b: &[f64], c: &[f64]) {
     let ap = as_send_ptr(a);
     be.parallel_for(b.len(), |r| {
+        // SAFETY: chunks from `parallel_for` are disjoint and within
+        // 0..b.len() == 0..a.len(); only this worker writes `a[r]`.
         let a = unsafe { ap.slice(r.clone()) };
         for ((ai, &bi), &ci) in a.iter_mut().zip(&b[r.clone()]).zip(&c[r]) {
             *ai = bi + SCALAR * ci;
@@ -170,23 +179,48 @@ fn kernel_dot(be: &NativeBackend, a: &[f64], b: &[f64]) -> f64 {
 
 /// A `Send + Sync` wrapper for handing disjoint mutable chunks of one slice
 /// to worker threads. Safety rests on the static schedule: `parallel_for`
-/// chunks never overlap.
-#[derive(Clone, Copy)]
+/// chunks never overlap. Debug builds additionally log every handed-out
+/// range and assert pairwise disjointness.
 struct SendPtr {
     ptr: *mut f64,
     len: usize,
+    /// Every range handed out so far (debug builds only), for the
+    /// disjointness assertion in [`SendPtr::slice`].
+    #[cfg(debug_assertions)]
+    claims: std::sync::Mutex<Vec<std::ops::Range<usize>>>,
 }
+// SAFETY: the pointee outlives the parallel region (the kernels hold the
+// slice's &mut for the whole call), and `slice`'s contract keeps handed-out
+// chunks disjoint, so moving the wrapper to a worker cannot alias a &mut.
 unsafe impl Send for SendPtr {}
+// SAFETY: `&SendPtr` only exposes `slice`, whose contract guarantees the
+// chunks obtained through it are disjoint across threads.
 unsafe impl Sync for SendPtr {}
 
 impl SendPtr {
     /// # Safety
-    /// Caller must ensure `range` is within bounds and that no two live
-    /// slices overlap. The returned lifetime is unbound on purpose (the
-    /// static schedule guarantees disjointness for the region's duration).
+    /// `range` must be in bounds and disjoint from every other live slice handed out by this wrapper; the static schedule guarantees both, and debug builds assert them. The returned lifetime is deliberately unbound for the region's duration.
     #[allow(clippy::mut_from_ref)]
     unsafe fn slice(&self, range: std::ops::Range<usize>) -> &mut [f64] {
-        debug_assert!(range.end <= self.len);
+        debug_assert!(
+            range.start <= range.end && range.end <= self.len,
+            "chunk {range:?} escapes the slice (len {})",
+            self.len
+        );
+        #[cfg(debug_assertions)]
+        {
+            let mut claims = self.claims.lock().unwrap_or_else(|e| e.into_inner());
+            for prior in claims.iter() {
+                debug_assert!(
+                    range.end <= prior.start || prior.end <= range.start,
+                    "chunk {range:?} overlaps previously handed-out {prior:?}"
+                );
+            }
+            claims.push(range.clone());
+        }
+        // SAFETY: the bounds assertion keeps the pointer arithmetic inside
+        // the allocation; the caller's contract (asserted above via
+        // `claims` in debug builds) rules out overlapping live slices.
         unsafe { std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.len()) }
     }
 }
@@ -195,6 +229,8 @@ fn as_send_ptr(s: &mut [f64]) -> SendPtr {
     SendPtr {
         ptr: s.as_mut_ptr(),
         len: s.len(),
+        #[cfg(debug_assertions)]
+        claims: std::sync::Mutex::new(Vec::new()),
     }
 }
 

@@ -1,0 +1,35 @@
+//! What does `--check` cost? Benchmarks one representative table-run per
+//! suite family with the happens-before sanitizer off and on. The
+//! sanitizer is designed to be passive (no clock, engine, or RNG
+//! interaction), so the gap here is pure vector-clock bookkeeping.
+//!
+//! `cargo bench -p doe-bench --bench check_overhead`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doebench::{dessan, table5, table6, Campaign};
+
+fn bench_check_overhead(c: &mut Criterion) {
+    let campaign = Campaign::quick();
+    let gpu = doebench::machines::by_name("Frontier").expect("machine");
+
+    let mut g = c.benchmark_group("check_overhead");
+    g.sample_size(10);
+    for (label, enabled) in [("off", false), ("on", true)] {
+        g.bench_function(format!("table5-frontier/{label}"), |b| {
+            dessan::set_checks_enabled(enabled);
+            b.iter(|| std::hint::black_box(table5::run_machine(&gpu, &campaign)));
+            dessan::set_checks_enabled(false);
+            dessan::take_global_findings();
+        });
+        g.bench_function(format!("table6-frontier/{label}"), |b| {
+            dessan::set_checks_enabled(enabled);
+            b.iter(|| std::hint::black_box(table6::run_machine(&gpu, &campaign)));
+            dessan::set_checks_enabled(false);
+            dessan::take_global_findings();
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_check_overhead);
+criterion_main!(benches);

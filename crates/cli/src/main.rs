@@ -22,6 +22,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     let full = args.iter().any(|a| a == "--full");
+    let checked = args.iter().any(|a| a == "--check")
+        || std::env::var("DOEBENCH_CHECK").is_ok_and(|v| v == "1");
+    if checked {
+        // Must happen before any world is constructed: runtimes snapshot
+        // the flag at creation time.
+        doebench::dessan::set_checks_enabled(true);
+    }
     if let Some(i) = args.iter().position(|a| a == "--jobs") {
         let jobs = args
             .get(i + 1)
@@ -401,6 +408,18 @@ fn main() {
             std::process::exit(2);
         }
     }
+
+    if checked {
+        let findings = doebench::dessan::take_global_findings();
+        if !findings.is_empty() {
+            eprintln!("doebench --check: {} sanitizer finding(s):", findings.len());
+            for f in &findings {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("doebench --check: no sanitizer findings");
+    }
 }
 
 fn die(msg: &str) -> ! {
@@ -434,6 +453,8 @@ fn print_help() {
          \x20 doebench variants [machine]          MPI implementations (future work 4)\n\n\
          options: --full  run the paper's 100-repetition protocol\n\
          \x20        --jobs N  worker threads (default: all cores; DOEBENCH_JOBS env)\n\
+         \x20        --check  run the happens-before sanitizer (DOEBENCH_CHECK=1 env);\n\
+         \x20                 exits 1 on any race/deadlock/leak finding\n\
          \x20        --md | --csv  alternative table renderings"
     );
 }

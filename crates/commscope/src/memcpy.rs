@@ -206,12 +206,18 @@ pub fn duplex_bandwidth(
         rt.set_device(dev).expect("device exists");
         let up = rt.create_stream(dev).expect("up stream");
         let down = rt.create_stream(dev).expect("down stream");
-        let host = Buffer::pinned_host(numa, cfg.bandwidth_bytes);
-        let devb = Buffer::device(dev, cfg.bandwidth_bytes);
+        // One buffer pair per direction: the two streams run concurrently
+        // with no ordering, so sharing buffers between them would be a
+        // data race (which `--check` flags) — real Comm|Scope allocates
+        // per-direction buffers too.
+        let host_up = Buffer::pinned_host(numa, cfg.bandwidth_bytes);
+        let dev_up = Buffer::device(dev, cfg.bandwidth_bytes);
+        let host_down = Buffer::pinned_host(numa, cfg.bandwidth_bytes);
+        let dev_down = Buffer::device(dev, cfg.bandwidth_bytes);
         let t0 = rt.now();
-        rt.memcpy_async(&devb, &host, cfg.bandwidth_bytes, &up)
+        rt.memcpy_async(&dev_up, &host_up, cfg.bandwidth_bytes, &up)
             .expect("h2d");
-        rt.memcpy_async(&host, &devb, cfg.bandwidth_bytes, &down)
+        rt.memcpy_async(&host_down, &dev_down, cfg.bandwidth_bytes, &down)
             .expect("d2h");
         rt.stream_synchronize(&up).expect("sync up");
         rt.stream_synchronize(&down).expect("sync down");

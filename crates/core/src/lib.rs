@@ -47,6 +47,7 @@ pub mod verify;
 
 pub use campaign::Campaign;
 
+pub use dessan;
 pub use doe_babelstream as babelstream;
 pub use doe_benchlib as benchlib;
 pub use doe_commscope as commscope;

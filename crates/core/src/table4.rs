@@ -95,8 +95,11 @@ pub fn run(c: &Campaign) -> Vec<Row> {
     machines
         .iter()
         .map(|m| {
-            let (Some(Cell::Stream(stream)), Some(Cell::Latency(on_socket)), Some(Cell::Latency(on_node))) =
-                (results.next(), results.next(), results.next())
+            let (
+                Some(Cell::Stream(stream)),
+                Some(Cell::Latency(on_socket)),
+                Some(Cell::Latency(on_node)),
+            ) = (results.next(), results.next(), results.next())
             else {
                 unreachable!("three cells per machine, in order");
             };

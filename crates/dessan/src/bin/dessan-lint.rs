@@ -1,0 +1,40 @@
+//! Workspace determinism lint gate.
+//!
+//! ```text
+//! cargo run -p dessan --bin dessan-lint [workspace-root]
+//! ```
+//!
+//! Scans `crates/*/src/**/*.rs`, applies the `dessan.toml` grandfather
+//! allowlist, prints violations, and exits nonzero if any remain. Unused
+//! allowlist entries are reported as warnings so the list only shrinks.
+
+use std::path::PathBuf;
+
+fn main() {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let report = match dessan::lint::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dessan-lint: cannot scan {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    };
+    for f in &report.findings {
+        println!("{f}");
+    }
+    for (rule, path) in &report.unused_allows {
+        eprintln!("warning: unused allowlist entry `{rule} {path}` — delete it from dessan.toml");
+    }
+    eprintln!(
+        "dessan-lint: {} file(s), {} violation(s), {} grandfathered",
+        report.files,
+        report.findings.len(),
+        report.allowed
+    );
+    if !report.is_clean() {
+        std::process::exit(1);
+    }
+}

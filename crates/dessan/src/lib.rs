@@ -1,0 +1,31 @@
+//! `dessan` — **de**terminism **s**tatic analysis + **san**itizer.
+//!
+//! The correctness-tooling layer of the suite, in two halves:
+//!
+//! 1. **Source-level determinism lint** ([`lint`]): a token-level scan of
+//!    the workspace that rejects the hazard classes that can silently break
+//!    the campaign's bit-identical-output guarantee (wall-clock reads,
+//!    unseeded RNG, hash-ordered rendering, ambient env reads, unjustified
+//!    `unsafe`, panics in simulated runtimes). Run it with
+//!    `cargo run -p dessan --bin dessan-lint`; existing justified sites are
+//!    grandfathered one-per-line in `dessan.toml`.
+//!
+//! 2. **Dynamic happens-before sanitizer** ([`checks`], [`vc`]): vector
+//!    clocks attached to ompsim threads, mpisim ranks, and gpurt
+//!    host/streams, joined on the runtimes' synchronization operations.
+//!    Conflicting buffer accesses without a happens-before edge are
+//!    reported as races; rendezvous send cycles are reported as deadlocks.
+//!    Enabled by `doebench --check` or `DOEBENCH_CHECK=1`; checks observe
+//!    without perturbing simulated time, so checked runs render
+//!    byte-identical tables.
+
+pub mod checks;
+pub mod lint;
+pub mod vc;
+
+pub use checks::{
+    checks_enabled, set_checks_enabled, take_global_findings, verify_claimed_cover,
+    verify_partition, AccessHistory, AccessKind, Finding, ForkJoin, RuntimeChecks,
+};
+pub use lint::{lint_file, Allowlist, LintFinding, LintReport, Rule};
+pub use vc::VectorClock;

@@ -1,0 +1,766 @@
+//! The source-level determinism lint.
+//!
+//! A token-level scan (no external parser) over the workspace's `.rs`
+//! files, in the same spirit as the vendored dependency shims: strip
+//! comments and string literals, then look for the textual shapes of the
+//! hazards that can silently break the suite's bit-identical-output
+//! guarantee. Six rule classes:
+//!
+//! | id               | hazard                                              |
+//! |------------------|-----------------------------------------------------|
+//! | `wall-clock`     | `std::time::{Instant,SystemTime}` in simulated code |
+//! | `ad-hoc-rng`     | `thread_rng` / `rand::random` outside `SimRng`      |
+//! | `hash-order`     | `HashMap`/`HashSet` in report/table/render paths    |
+//! | `env-read`       | `std::env::var` outside `config`/`cli` modules      |
+//! | `unsafe-no-safety` | `unsafe` without a nearby `// SAFETY:` comment    |
+//! | `unwrap-in-sim`  | `unwrap()`/`expect()` in sim-crate non-test code    |
+//!
+//! Existing justified sites are grandfathered through `dessan.toml` — one
+//! `rule path` pair per line — so the gate can only ratchet tighter.
+
+use std::fmt;
+use std::path::Path;
+
+/// The crates whose non-test code must be panic-free (`unwrap-in-sim`).
+const SIM_CRATES: [&str; 7] = [
+    "simtime", "gpurt", "mpisim", "netsim", "ompsim", "gpusim", "memmodel",
+];
+
+/// A lint rule class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Wall-clock reads in simulated code.
+    WallClock,
+    /// Ad-hoc randomness outside the seeded `SimRng`.
+    AdHocRng,
+    /// Hash-ordered iteration in an output path.
+    HashOrder,
+    /// Environment reads outside configuration modules.
+    EnvRead,
+    /// `unsafe` without a `// SAFETY:` justification.
+    UnsafeNoSafety,
+    /// `unwrap()`/`expect()` in sim-crate non-test code.
+    UnwrapInSim,
+}
+
+impl Rule {
+    /// The stable identifier used in reports and `dessan.toml`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall-clock",
+            Rule::AdHocRng => "ad-hoc-rng",
+            Rule::HashOrder => "hash-order",
+            Rule::EnvRead => "env-read",
+            Rule::UnsafeNoSafety => "unsafe-no-safety",
+            Rule::UnwrapInSim => "unwrap-in-sim",
+        }
+    }
+
+    /// Every rule, in report order.
+    pub const ALL: [Rule; 6] = [
+        Rule::WallClock,
+        Rule::AdHocRng,
+        Rule::HashOrder,
+        Rule::EnvRead,
+        Rule::UnsafeNoSafety,
+        Rule::UnwrapInSim,
+    ];
+}
+
+/// One lint violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What was found.
+    pub message: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.rule.id(),
+            self.message
+        )
+    }
+}
+
+/// Replace comments and string/char literals with spaces, preserving line
+/// structure, so rules match code tokens only. Returns the blanked text.
+pub fn strip_comments_and_strings(src: &str) -> String {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut st = St::Code;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match st {
+            St::Code => match c {
+                '/' if next == Some('/') => {
+                    st = St::LineComment;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                '/' if next == Some('*') => {
+                    st = St::BlockComment(1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    st = St::Str;
+                    out.push(' ');
+                }
+                'r' if next == Some('"') || next == Some('#') => {
+                    // Possible raw string: r"..." or r#"..."#.
+                    let mut j = i + 1;
+                    let mut hashes = 0;
+                    while bytes.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&'"') {
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        i = j + 1;
+                        st = St::RawStr(hashes);
+                        continue;
+                    }
+                    out.push(c);
+                }
+                '\'' => {
+                    // Char literal vs lifetime: a literal closes with a
+                    // quote after one (possibly escaped) character.
+                    let is_char_lit = match next {
+                        Some('\\') => true,
+                        Some(_) => bytes.get(i + 2) == Some(&'\''),
+                        None => false,
+                    };
+                    if is_char_lit {
+                        st = St::Char;
+                    }
+                    out.push(' ');
+                }
+                _ => out.push(c),
+            },
+            St::LineComment => {
+                if c == '\n' {
+                    st = St::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            St::BlockComment(depth) => {
+                if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                if c == '/' && next == Some('*') {
+                    st = St::BlockComment(depth + 1);
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '*' && next == Some('/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+            }
+            St::Str => {
+                if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                if c == '\\' {
+                    if next == Some('\n') {
+                        out.push('\n');
+                    } else {
+                        out.push(' ');
+                    }
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    st = St::Code;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0;
+                    while seen < hashes && bytes.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        for _ in i + 1..j {
+                            out.push(' ');
+                        }
+                        i = j;
+                        st = St::Code;
+                        continue;
+                    }
+                }
+            }
+            St::Char => {
+                out.push(' ');
+                if c == '\\' {
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '\'' {
+                    st = St::Code;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Per-line flags marking `#[cfg(test)]` regions (attribute line included),
+/// computed by brace counting over the comment-stripped text.
+fn test_region_lines(code: &str) -> Vec<bool> {
+    let mut flags = Vec::new();
+    let mut depth: i64 = 0;
+    let mut pending = false;
+    let mut region_start: Option<i64> = None;
+    for line in code.lines() {
+        if region_start.is_none() && line.contains("#[cfg(test)]") {
+            pending = true;
+        }
+        let starts_in_region = region_start.is_some() || pending;
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending {
+                        region_start = Some(depth);
+                        pending = false;
+                    }
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some(s) = region_start {
+                        if depth < s {
+                            region_start = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        flags.push(starts_in_region || region_start.is_some() || pending);
+    }
+    flags
+}
+
+/// True when `needle` occurs in `hay` bounded by non-identifier characters.
+fn contains_word(hay: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let left_ok = start == 0
+            || !hay[..start]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let right_ok = !hay[end..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if left_ok && right_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// The crate a workspace-relative path belongs to (`crates/<name>/…`).
+fn crate_of(path: &str) -> Option<&str> {
+    let rest = path.strip_prefix("crates/")?;
+    rest.split('/').next()
+}
+
+/// File stem of a path (`world.rs` → `world`).
+fn stem_of(path: &str) -> &str {
+    Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("")
+}
+
+/// Is this file part of a rendered-output path (tables, reports, charts)?
+/// Hash-ordered iteration there can silently reorder rendered rows.
+fn is_output_path(path: &str) -> bool {
+    let stem = stem_of(path);
+    stem.starts_with("table")
+        || matches!(stem, "render" | "chart" | "compare" | "report" | "bundle")
+        || crate_of(path) == Some("report")
+}
+
+/// Lint one file's source text. `path` must be workspace-relative
+/// (`crates/<crate>/src/...`) so crate- and module-scoped rules resolve.
+pub fn lint_file(path: &str, src: &str) -> Vec<LintFinding> {
+    let code = strip_comments_and_strings(src);
+    let test_lines = test_region_lines(&code);
+    let krate = crate_of(path).unwrap_or("");
+    let stem = stem_of(path);
+    let in_sim_crate = SIM_CRATES.contains(&krate);
+    let env_exempt = krate == "cli" || matches!(stem, "config" | "env" | "cli");
+    let output_path = is_output_path(path);
+    let original_lines: Vec<&str> = src.lines().collect();
+
+    let mut findings = Vec::new();
+    let mut push = |rule, line, message: String| {
+        findings.push(LintFinding {
+            rule,
+            path: path.to_string(),
+            line,
+            message,
+        });
+    };
+
+    for (idx, cl) in code.lines().enumerate() {
+        let lineno = idx + 1;
+        let in_test = test_lines.get(idx).copied().unwrap_or(false);
+
+        // wall-clock: reading host time inside simulated/deterministic code.
+        for pat in [
+            "std::time::Instant",
+            "std::time::SystemTime",
+            "Instant::now",
+            "SystemTime::now",
+        ] {
+            if cl.contains(pat) {
+                push(
+                    Rule::WallClock,
+                    lineno,
+                    format!("wall-clock read `{pat}` breaks run-to-run determinism; use simulated time (`SimTime`) or grandfather native-measurement code in dessan.toml"),
+                );
+                break;
+            }
+        }
+
+        // ad-hoc-rng: randomness not derived from the campaign seed.
+        for pat in ["thread_rng", "rand::random"] {
+            if cl.contains(pat) {
+                push(
+                    Rule::AdHocRng,
+                    lineno,
+                    format!("unseeded randomness `{pat}`; derive a stream from `SimRng` instead"),
+                );
+                break;
+            }
+        }
+
+        // hash-order: nondeterministic iteration order in rendered output.
+        if output_path {
+            for pat in ["HashMap", "HashSet"] {
+                if contains_word(cl, pat) {
+                    push(
+                        Rule::HashOrder,
+                        lineno,
+                        format!("`{pat}` in an output path; iteration order is unspecified — use `BTreeMap`/`BTreeSet` or sort explicitly"),
+                    );
+                    break;
+                }
+            }
+        }
+
+        // env-read: ambient configuration outside config/cli modules.
+        if !env_exempt && (cl.contains("env::var") || cl.contains("env::vars")) {
+            push(
+                Rule::EnvRead,
+                lineno,
+                "environment read outside a config/cli module makes behaviour depend on ambient state".to_string(),
+            );
+        }
+
+        // unsafe-no-safety: every unsafe site needs a written justification.
+        if contains_word(cl, "unsafe") {
+            let window_start = idx.saturating_sub(3);
+            let justified = original_lines[window_start..=idx.min(original_lines.len() - 1)]
+                .iter()
+                .any(|l| l.contains("SAFETY:") || l.contains("# Safety"));
+            if !justified {
+                push(
+                    Rule::UnsafeNoSafety,
+                    lineno,
+                    "`unsafe` without a `// SAFETY:` comment within the preceding 3 lines"
+                        .to_string(),
+                );
+            }
+        }
+
+        // unwrap-in-sim: sim-crate non-test code must propagate errors.
+        if in_sim_crate && !in_test {
+            for pat in [".unwrap()", ".expect("] {
+                if cl.contains(pat) {
+                    push(
+                        Rule::UnwrapInSim,
+                        lineno,
+                        format!("`{pat}` in non-test code of a simulated runtime crate; return a typed error instead"),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// The grandfather allowlist: `rule path` pairs, one per line, `#` comments.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<(String, String)>,
+    used: Vec<bool>,
+}
+
+impl Allowlist {
+    /// Parse `dessan.toml` text. Unknown rule ids are an error so typos
+    /// cannot silently allow everything.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() || line.starts_with('[') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(rule), Some(path)) = (parts.next(), parts.next()) else {
+                return Err(format!(
+                    "dessan.toml line {}: expected `rule path`, got `{raw}`",
+                    i + 1
+                ));
+            };
+            if !Rule::ALL.iter().any(|r| r.id() == rule) {
+                return Err(format!(
+                    "dessan.toml line {}: unknown rule `{rule}` (known: {})",
+                    i + 1,
+                    Rule::ALL.map(|r| r.id()).join(", ")
+                ));
+            }
+            entries.push((rule.to_string(), path.to_string()));
+        }
+        let used = vec![false; entries.len()];
+        Ok(Allowlist { entries, used })
+    }
+
+    /// Is `finding` grandfathered? Marks the matching entry as used.
+    pub fn permits(&mut self, finding: &LintFinding) -> bool {
+        for (i, (rule, path)) in self.entries.iter().enumerate() {
+            if rule == finding.rule.id() && path == &finding.path {
+                self.used[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Entries that never matched a finding — candidates for deletion, so
+    /// the allowlist only shrinks over time.
+    pub fn unused(&self) -> Vec<(String, String)> {
+        self.entries
+            .iter()
+            .zip(&self.used)
+            .filter(|(_, &u)| !u)
+            .map(|(e, _)| e.clone())
+            .collect()
+    }
+}
+
+/// The outcome of a full lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Violations not covered by the allowlist.
+    pub findings: Vec<LintFinding>,
+    /// Grandfathered violation count.
+    pub allowed: usize,
+    /// Files scanned.
+    pub files: usize,
+    /// Allowlist entries that matched nothing.
+    pub unused_allows: Vec<(String, String)>,
+}
+
+impl LintReport {
+    /// Zero exit code?
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for determinism.
+fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs_files(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every `crates/*/src/**/*.rs` under `root`, applying the allowlist
+/// at `root/dessan.toml` if present.
+pub fn run(root: &Path) -> std::io::Result<LintReport> {
+    let allow_text = match std::fs::read_to_string(root.join("dessan.toml")) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    let mut allow = Allowlist::parse(&allow_text)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<_> = std::fs::read_dir(&crates_dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut report = LintReport::default();
+    for cd in crate_dirs {
+        let src = cd.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        for f in files {
+            let rel = f
+                .strip_prefix(root)
+                .unwrap_or(&f)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let text = std::fs::read_to_string(&f)?;
+            report.files += 1;
+            for finding in lint_file(&rel, &text) {
+                if allow.permits(&finding) {
+                    report.allowed += 1;
+                } else {
+                    report.findings.push(finding);
+                }
+            }
+        }
+    }
+    report.unused_allows = allow.unused();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(path: &str, src: &str) -> Vec<Rule> {
+        lint_file(path, src).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn wall_clock_flagged() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n";
+        let r = rules_of("crates/foo/src/lib.rs", src);
+        assert_eq!(r, vec![Rule::WallClock, Rule::WallClock]);
+    }
+
+    #[test]
+    fn ad_hoc_rng_flagged() {
+        let src = "fn f() { let x: f64 = rand::random(); let mut r = thread_rng(); }\n";
+        let r = rules_of("crates/foo/src/lib.rs", src);
+        assert_eq!(r, vec![Rule::AdHocRng]);
+    }
+
+    #[test]
+    fn hash_iteration_flagged_only_in_output_paths() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(
+            rules_of("crates/report/src/lib.rs", src),
+            vec![Rule::HashOrder]
+        );
+        assert_eq!(
+            rules_of("crates/core/src/table4.rs", src),
+            vec![Rule::HashOrder]
+        );
+        assert_eq!(rules_of("crates/topo/src/node.rs", src), vec![]);
+    }
+
+    #[test]
+    fn env_read_flagged_outside_config_and_cli() {
+        let src = "fn f() { let _ = std::env::var(\"X\"); }\n";
+        assert_eq!(
+            rules_of("crates/benchlib/src/par.rs", src),
+            vec![Rule::EnvRead]
+        );
+        assert_eq!(rules_of("crates/cli/src/main.rs", src), vec![]);
+        assert_eq!(rules_of("crates/osu/src/config.rs", src), vec![]);
+        assert_eq!(rules_of("crates/ompsim/src/env.rs", src), vec![]);
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let bare = "fn f() { unsafe { work() } }\n";
+        assert_eq!(
+            rules_of("crates/foo/src/lib.rs", bare),
+            vec![Rule::UnsafeNoSafety]
+        );
+        let justified =
+            "// SAFETY: chunks are disjoint by construction.\nfn f() { unsafe { work() } }\n";
+        assert_eq!(rules_of("crates/foo/src/lib.rs", justified), vec![]);
+        let doc = "/// # Safety\n/// Caller must uphold X.\npub unsafe fn g() {}\n";
+        assert_eq!(rules_of("crates/foo/src/lib.rs", doc), vec![]);
+    }
+
+    #[test]
+    fn unwrap_flagged_in_sim_crates_only() {
+        let src = "fn f() { x.unwrap(); y.expect(\"msg\"); }\n";
+        assert_eq!(
+            rules_of("crates/mpisim/src/world.rs", src),
+            vec![Rule::UnwrapInSim]
+        );
+        assert_eq!(rules_of("crates/core/src/table4.rs", src), vec![]);
+    }
+
+    #[test]
+    fn unwrap_unflagged_inside_cfg_test_module() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+        assert_eq!(rules_of("crates/gpurt/src/runtime.rs", src), vec![]);
+    }
+
+    #[test]
+    fn code_after_test_module_is_scanned_again() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { Some(1).unwrap(); }\n}\nfn g(x: Option<u32>) { x.unwrap(); }\n";
+        let f = lint_file("crates/gpurt/src/runtime.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn comments_strings_and_doctests_do_not_trip_rules() {
+        let src = "//! let t = Instant::now();\n// thread_rng in prose\nfn f() { let s = \"Instant::now\"; let _ = s; }\nfn g() { let c = 'x'; let _ = c; }\n";
+        assert_eq!(rules_of("crates/foo/src/lib.rs", src), vec![]);
+    }
+
+    #[test]
+    fn raw_strings_are_stripped() {
+        let src = "fn f() { let s = r#\"std::time::Instant \"quoted\" \"#; let _ = s; }\n";
+        assert_eq!(rules_of("crates/foo/src/lib.rs", src), vec![]);
+    }
+
+    #[test]
+    fn lifetimes_do_not_confuse_the_scanner() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nfn g() { let t = std::time::Instant::now(); let _ = t; }\n";
+        assert_eq!(
+            rules_of("crates/foo/src/lib.rs", src),
+            vec![Rule::WallClock]
+        );
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 0) }\n";
+        assert_eq!(rules_of("crates/mpisim/src/world.rs", src), vec![]);
+    }
+
+    #[test]
+    fn allowlist_permits_and_tracks_usage() {
+        let mut allow = Allowlist::parse(
+            "# comment\nwall-clock crates/foo/src/lib.rs\nenv-read crates/bar/src/x.rs\n",
+        )
+        .unwrap();
+        let f = LintFinding {
+            rule: Rule::WallClock,
+            path: "crates/foo/src/lib.rs".into(),
+            line: 1,
+            message: String::new(),
+        };
+        assert!(allow.permits(&f));
+        assert!(!allow.permits(&LintFinding {
+            rule: Rule::AdHocRng,
+            ..f.clone()
+        }));
+        assert_eq!(allow.unused().len(), 1);
+        assert_eq!(allow.unused()[0].0, "env-read");
+    }
+
+    #[test]
+    fn allowlist_rejects_unknown_rules() {
+        assert!(Allowlist::parse("definitely-not-a-rule crates/x/src/y.rs").is_err());
+        assert!(Allowlist::parse("wall-clock").is_err());
+    }
+
+    #[test]
+    fn run_flags_a_seeded_fixture_and_accepts_a_clean_tree() {
+        let dir = std::env::temp_dir().join(format!("dessan-lint-fixture-{}", std::process::id()));
+        let src = dir.join("crates/fix/src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(
+            src.join("lib.rs"),
+            "use std::time::Instant;\nfn f() { let _ = std::env::var(\"HOME\"); }\n",
+        )
+        .unwrap();
+        let report = run(&dir).unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.findings.len(), 2);
+        assert_eq!(report.files, 1);
+
+        // Grandfathering both sites makes the same tree clean.
+        std::fs::write(
+            dir.join("dessan.toml"),
+            "wall-clock crates/fix/src/lib.rs\nenv-read crates/fix/src/lib.rs\n",
+        )
+        .unwrap();
+        let report = run(&dir).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.allowed, 2);
+        assert!(report.unused_allows.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

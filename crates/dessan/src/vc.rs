@@ -1,0 +1,218 @@
+//! Vector clocks: the happens-before substrate shared by every sanitizer.
+//!
+//! Each logical task (an MPI rank, a GPU stream, the host thread, an OpenMP
+//! worker) owns one component of the clock. Synchronization operations
+//! (`recv` after `send`, `stream_wait_event` after `event_record`, a
+//! fork-join barrier) *join* clocks, which is exactly how the partial order
+//! "happens-before" is transported between tasks. An access at clock `A`
+//! is ordered before an access at clock `B` iff `A.happens_before(&B)`;
+//! when neither orders the other the accesses are concurrent, and a
+//! conflicting concurrent pair is a race.
+
+/// A grow-on-demand vector clock. Missing components read as zero, so
+/// clocks over different task sets compare sensibly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    v: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock (happens-before everything that has ticked).
+    pub fn new() -> Self {
+        VectorClock { v: Vec::new() }
+    }
+
+    /// The component for task `i` (zero if never ticked or joined).
+    pub fn get(&self, i: usize) -> u64 {
+        self.v.get(i).copied().unwrap_or(0)
+    }
+
+    /// Advance task `i`'s own component by one: a new local event.
+    pub fn tick(&mut self, i: usize) {
+        if self.v.len() <= i {
+            self.v.resize(i + 1, 0);
+        }
+        self.v[i] += 1;
+    }
+
+    /// Pointwise maximum: afterwards `self` dominates both inputs. This is
+    /// the synchronization edge — the receiver of a message (or the waiter
+    /// on an event) joins the sender's clock.
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.v.len() < other.v.len() {
+            self.v.resize(other.v.len(), 0);
+        }
+        for (a, &b) in self.v.iter_mut().zip(&other.v) {
+            *a = (*a).max(b);
+        }
+    }
+
+    /// Pointwise `<=` (treating missing components as zero).
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        let n = self.v.len().max(other.v.len());
+        (0..n).all(|i| self.get(i) <= other.get(i))
+    }
+
+    /// Strict happens-before: `self <= other` and the clocks differ.
+    pub fn happens_before(&self, other: &VectorClock) -> bool {
+        self.leq(other) && !other.leq(self)
+    }
+
+    /// Neither clock orders the other: the two events raced.
+    pub fn concurrent_with(&self, other: &VectorClock) -> bool {
+        !self.leq(other) && !other.leq(self)
+    }
+}
+
+impl std::fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, c) in self.v.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fresh_clocks_are_equal_not_ordered() {
+        let a = VectorClock::new();
+        let b = VectorClock::new();
+        assert!(a.leq(&b) && b.leq(&a));
+        assert!(!a.happens_before(&b));
+        assert!(!a.concurrent_with(&b));
+    }
+
+    #[test]
+    fn tick_orders_after_previous_self() {
+        let mut a = VectorClock::new();
+        let before = a.clone();
+        a.tick(3);
+        assert!(before.happens_before(&a));
+        assert_eq!(a.get(3), 1);
+        assert_eq!(a.get(0), 0);
+    }
+
+    #[test]
+    fn message_transfer_transports_order() {
+        // Sender ticks, receiver joins: sender's event precedes anything
+        // the receiver does afterwards.
+        let mut sender = VectorClock::new();
+        sender.tick(0);
+        let snapshot = sender.clone();
+        let mut receiver = VectorClock::new();
+        receiver.tick(1);
+        assert!(snapshot.concurrent_with(&receiver));
+        receiver.join(&snapshot);
+        receiver.tick(1);
+        assert!(snapshot.happens_before(&receiver));
+    }
+
+    /// An arbitrary clock over at most 6 tasks.
+    fn clock() -> impl Strategy<Value = VectorClock> {
+        proptest::collection::vec(0u64..50, 0..6).prop_map(|v| {
+            let mut c = VectorClock::new();
+            for (i, n) in v.into_iter().enumerate() {
+                for _ in 0..n {
+                    c.tick(i);
+                }
+            }
+            c
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_join_commutes(a in clock(), b in clock()) {
+            let mut ab = a.clone();
+            ab.join(&b);
+            let mut ba = b.clone();
+            ba.join(&a);
+            prop_assert!(ab.leq(&ba) && ba.leq(&ab));
+        }
+
+        #[test]
+        fn prop_join_is_monotone_upper_bound(a in clock(), b in clock()) {
+            let mut j = a.clone();
+            j.join(&b);
+            // join dominates both inputs …
+            prop_assert!(a.leq(&j));
+            prop_assert!(b.leq(&j));
+            // … and is the *least* upper bound: any other dominator of
+            // both inputs dominates the join.
+            let mut wider = j.clone();
+            wider.tick(0);
+            prop_assert!(j.leq(&wider));
+        }
+
+        #[test]
+        fn prop_join_idempotent(a in clock()) {
+            let mut j = a.clone();
+            j.join(&a);
+            prop_assert!(j.leq(&a) && a.leq(&j));
+        }
+
+        #[test]
+        fn prop_join_associative(a in clock(), b in clock(), c in clock()) {
+            let mut left = a.clone();
+            left.join(&b);
+            left.join(&c);
+            let mut bc = b.clone();
+            bc.join(&c);
+            let mut right = a.clone();
+            right.join(&bc);
+            prop_assert_eq!(left, right);
+        }
+
+        #[test]
+        fn prop_leq_is_partial_order(a in clock(), b in clock(), c in clock()) {
+            // Reflexive.
+            prop_assert!(a.leq(&a));
+            // Antisymmetric up to component equality.
+            if a.leq(&b) && b.leq(&a) {
+                let n = 8;
+                for i in 0..n {
+                    prop_assert_eq!(a.get(i), b.get(i));
+                }
+            }
+            // Transitive.
+            if a.leq(&b) && b.leq(&c) {
+                prop_assert!(a.leq(&c));
+            }
+        }
+
+        #[test]
+        fn prop_happens_before_is_strict(a in clock(), b in clock()) {
+            // Irreflexive and asymmetric; exactly one of the four
+            // relations holds for any pair.
+            prop_assert!(!a.happens_before(&a));
+            if a.happens_before(&b) {
+                prop_assert!(!b.happens_before(&a));
+                prop_assert!(!a.concurrent_with(&b));
+            }
+            let equal = a.leq(&b) && b.leq(&a);
+            let relations = [
+                equal,
+                a.happens_before(&b),
+                b.happens_before(&a),
+                a.concurrent_with(&b),
+            ];
+            prop_assert_eq!(relations.iter().filter(|&&r| r).count(), 1);
+        }
+
+        #[test]
+        fn prop_tick_monotone(a in clock(), i in 0usize..6) {
+            let mut t = a.clone();
+            t.tick(i);
+            prop_assert!(a.happens_before(&t));
+        }
+    }
+}

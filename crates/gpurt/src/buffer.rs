@@ -6,7 +6,12 @@
 //! buffer is pinned"), and unpinned transfers stage through a driver bounce
 //! buffer at a significant cost.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use doe_topo::{DeviceId, NumaId};
+
+/// Process-wide allocation counter backing [`Buffer::id`].
+static NEXT_BUFFER_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Where an allocation lives.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -30,46 +35,69 @@ impl MemLoc {
 }
 
 /// A sized allocation at a location.
+///
+/// Copies of a `Buffer` are handles to the *same* allocation (they share
+/// the [`Buffer::id`]), which is what the `--check` race detector keys its
+/// access history on. Equality is allocation identity.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Buffer {
     /// Location of the allocation.
     pub loc: MemLoc,
     /// Allocation size in bytes.
     pub bytes: u64,
+    id: u64,
 }
 
 impl Buffer {
+    fn alloc(loc: MemLoc, bytes: u64) -> Self {
+        Buffer {
+            loc,
+            bytes,
+            id: NEXT_BUFFER_ID.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
     /// Allocate `bytes` of device memory on `dev` (cf. `cudaMalloc`).
     pub fn device(dev: DeviceId, bytes: u64) -> Self {
-        Buffer {
-            loc: MemLoc::Device(dev),
-            bytes,
-        }
+        Self::alloc(MemLoc::Device(dev), bytes)
     }
 
     /// Allocate pinned host memory on `numa` (cf. `cudaMallocHost`).
     pub fn pinned_host(numa: NumaId, bytes: u64) -> Self {
-        Buffer {
-            loc: MemLoc::Host { numa, pinned: true },
-            bytes,
-        }
+        Self::alloc(MemLoc::Host { numa, pinned: true }, bytes)
     }
 
     /// Allocate ordinary pageable host memory on `numa` (cf. `malloc`).
     pub fn pageable_host(numa: NumaId, bytes: u64) -> Self {
-        Buffer {
-            loc: MemLoc::Host {
+        Self::alloc(
+            MemLoc::Host {
                 numa,
                 pinned: false,
             },
             bytes,
-        }
+        )
+    }
+
+    /// This allocation's process-unique identity.
+    pub fn id(&self) -> u64 {
+        self.id
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn copies_share_identity_but_fresh_allocations_do_not() {
+        let a = Buffer::device(DeviceId(0), 128);
+        let b = a; // a handle to the same allocation
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a, b);
+        let c = Buffer::device(DeviceId(0), 128); // same shape, new allocation
+        assert_ne!(a.id(), c.id());
+        assert_ne!(a, c);
+    }
 
     #[test]
     fn constructors_set_location() {

@@ -1,8 +1,9 @@
 //! The simulated device runtime.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
+use dessan::{AccessHistory, AccessKind, RuntimeChecks, VectorClock};
 use doe_gpusim::{Engine, GpuModel};
 use doe_memmodel::{PlacementQuality, StreamOp};
 use doe_simtime::{Clock, SimDuration, SimRng, SimTime, Trace};
@@ -45,6 +46,138 @@ struct CopyParts {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct GpuEvent {
     completes_at: SimTime,
+    /// Identity for the `--check` happens-before tracker (0 = untracked).
+    id: u64,
+}
+
+/// The clock-component index reserved for the host thread.
+const HOST_CLOCK: usize = 0;
+
+/// Sanitizer state for one runtime: vector clocks for the host and each
+/// stream, event clock snapshots, and per-buffer access histories. Purely
+/// observational — it never touches the `Clock`, engines, or RNG, so a
+/// checked run is bit-identical to an unchecked one.
+#[derive(Debug)]
+struct GpuChecks {
+    handle: RuntimeChecks,
+    host: VectorClock,
+    /// Per `(device index, stream index)`: clock-component index + clock.
+    streams: BTreeMap<(usize, usize), (usize, VectorClock)>,
+    next_clock_idx: usize,
+    next_event_id: u64,
+    /// Stream-clock snapshot at each recorded event.
+    events: BTreeMap<u64, VectorClock>,
+    /// Access history per buffer allocation id.
+    buffers: BTreeMap<u64, AccessHistory>,
+}
+
+impl GpuChecks {
+    fn new() -> Self {
+        let mut host = VectorClock::new();
+        host.tick(HOST_CLOCK);
+        GpuChecks {
+            handle: RuntimeChecks::enabled(),
+            host,
+            streams: BTreeMap::new(),
+            next_clock_idx: HOST_CLOCK + 1,
+            next_event_id: 1,
+            events: BTreeMap::new(),
+            buffers: BTreeMap::new(),
+        }
+    }
+
+    fn stream_mut(&mut self, key: (usize, usize)) -> &mut (usize, VectorClock) {
+        let next = &mut self.next_clock_idx;
+        self.streams.entry(key).or_insert_with(|| {
+            let idx = *next;
+            *next += 1;
+            let mut vc = VectorClock::new();
+            vc.tick(idx);
+            (idx, vc)
+        })
+    }
+
+    /// Host→stream edge paid by every submission: work enqueued on a
+    /// stream happens-after everything the host did before enqueueing it.
+    fn submit(&mut self, key: (usize, usize)) {
+        self.host.tick(HOST_CLOCK);
+        let host = self.host.clone();
+        let (idx, vc) = self.stream_mut(key);
+        let idx = *idx;
+        vc.join(&host);
+        vc.tick(idx);
+    }
+
+    /// Snapshot the stream clock at an event record.
+    fn record_event(&mut self, key: (usize, usize)) -> u64 {
+        self.submit(key);
+        let snap = self.stream_mut(key).1.clone();
+        let id = self.next_event_id;
+        self.next_event_id += 1;
+        self.events.insert(id, snap);
+        id
+    }
+
+    /// Event→stream edge (`cudaStreamWaitEvent`).
+    fn wait_event(&mut self, key: (usize, usize), event_id: u64) {
+        self.submit(key);
+        if let Some(ev) = self.events.get(&event_id).cloned() {
+            let (idx, vc) = self.stream_mut(key);
+            let idx = *idx;
+            vc.join(&ev);
+            vc.tick(idx);
+        }
+    }
+
+    /// Stream→host edge (`cudaStreamSynchronize`).
+    fn host_join_stream(&mut self, key: (usize, usize)) {
+        let vc = self.stream_mut(key).1.clone();
+        self.host.join(&vc);
+        self.host.tick(HOST_CLOCK);
+    }
+
+    /// Event→host edge (`cudaEventSynchronize`).
+    fn host_join_event(&mut self, event_id: u64) {
+        if let Some(ev) = self.events.get(&event_id).cloned() {
+            self.host.join(&ev);
+            self.host.tick(HOST_CLOCK);
+        }
+    }
+
+    /// All-streams→host edge for one device (`cudaDeviceSynchronize`).
+    fn host_join_device(&mut self, dev_idx: usize) {
+        let keys: Vec<_> = self
+            .streams
+            .keys()
+            .filter(|k| k.0 == dev_idx)
+            .copied()
+            .collect();
+        for key in keys {
+            let vc = self.stream_mut(key).1.clone();
+            self.host.join(&vc);
+        }
+        self.host.tick(HOST_CLOCK);
+    }
+
+    /// Log one buffer access by the stream at its current clock and report
+    /// any conflicting access not ordered before it.
+    fn access(&mut self, buf: &Buffer, kind: AccessKind, key: (usize, usize), what: &str) {
+        let (idx, vc) = self.stream_mut(key);
+        let (idx, now) = (*idx, vc.clone());
+        let label = format!("{what} on stream {}/{}", key.0, key.1);
+        let hist = self.buffers.entry(buf.id()).or_default();
+        for race in hist.record(kind, idx, &now, &label) {
+            self.handle.report(
+                "race",
+                format!(
+                    "buffer {:?}#{} ({} B): {race}",
+                    buf.loc,
+                    buf.id(),
+                    buf.bytes
+                ),
+            );
+        }
+    }
 }
 
 impl GpuEvent {
@@ -76,6 +209,8 @@ pub struct GpuRuntime {
     current: DeviceId,
     /// Optional operation trace (spans on per-stream / per-wire tracks).
     trace: Option<Trace>,
+    /// Sanitizer state, present only under `--check`.
+    checks: Option<Box<GpuChecks>>,
 }
 
 impl GpuRuntime {
@@ -108,6 +243,44 @@ impl GpuRuntime {
             wires: HashMap::new(),
             current,
             trace: None,
+            checks: dessan::checks_enabled().then(|| Box::new(GpuChecks::new())),
+        }
+    }
+
+    /// Turn the sanitizer on for this runtime regardless of the global
+    /// `--check` switch (test fixtures).
+    pub fn enable_checks(&mut self) {
+        if self.checks.is_none() {
+            self.checks = Some(Box::new(GpuChecks::new()));
+        }
+    }
+
+    /// Findings the sanitizer has recorded against this runtime so far.
+    pub fn check_findings(&self) -> Vec<String> {
+        self.checks
+            .as_ref()
+            .map(|c| c.handle.findings().iter().map(|f| f.to_string()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Declare the buffers a just-launched kernel reads and writes, so the
+    /// `--check` race detector can order kernel accesses against copies
+    /// and other kernels. Call immediately after the launch on the same
+    /// stream. No-op when checks are off.
+    pub fn annotate_kernel_buffers(
+        &mut self,
+        s: &StreamHandle,
+        reads: &[Buffer],
+        writes: &[Buffer],
+    ) {
+        if let Some(ch) = &mut self.checks {
+            let key = (s.device.index(), s.idx);
+            for b in reads {
+                ch.access(b, AccessKind::Read, key, "kernel read");
+            }
+            for b in writes {
+                ch.access(b, AccessKind::Write, key, "kernel write");
+            }
         }
     }
 
@@ -223,6 +396,9 @@ impl GpuRuntime {
         let body = self.jittered(s.device, body);
         let (start, _end) = self.engine(s)?.enqueue(now, body);
         self.trace_span("empty kernel", "gpu", Self::stream_track(s), start, body);
+        if let Some(ch) = &mut self.checks {
+            ch.submit((s.device.index(), s.idx));
+        }
         Ok(())
     }
 
@@ -238,6 +414,9 @@ impl GpuRuntime {
         let body = self.jittered(s.device, device_time);
         let (start, _end) = self.engine(s)?.enqueue(now, body);
         self.trace_span("kernel", "gpu", Self::stream_track(s), start, body);
+        if let Some(ch) = &mut self.checks {
+            ch.submit((s.device.index(), s.idx));
+        }
         Ok(())
     }
 
@@ -304,6 +483,12 @@ impl GpuRuntime {
             start,
             completion.saturating_since(start),
         );
+        if let Some(ch) = &mut self.checks {
+            let key = (s.device.index(), s.idx);
+            ch.submit(key);
+            ch.access(src, AccessKind::Read, key, "memcpy read");
+            ch.access(dst, AccessKind::Write, key, "memcpy write");
+        }
         Ok(())
     }
 
@@ -396,6 +581,9 @@ impl GpuRuntime {
             wait_from,
             now.saturating_since(wait_from),
         );
+        if let Some(ch) = &mut self.checks {
+            ch.host_join_stream((s.device.index(), s.idx));
+        }
         Ok(())
     }
 
@@ -416,6 +604,9 @@ impl GpuRuntime {
         for e in &mut self.streams[dev.index()] {
             e.retire_until(now);
         }
+        if let Some(ch) = &mut self.checks {
+            ch.host_join_device(dev.index());
+        }
         Ok(())
     }
 
@@ -423,12 +614,22 @@ impl GpuRuntime {
     /// enqueued completes (cf. `cudaEventRecord`).
     pub fn event_record(&mut self, s: &StreamHandle) -> Result<GpuEvent, GpuError> {
         let at = self.engine(s)?.busy_until().max(self.clock.now());
-        Ok(GpuEvent { completes_at: at })
+        let id = match &mut self.checks {
+            Some(ch) => ch.record_event((s.device.index(), s.idx)),
+            None => 0,
+        };
+        Ok(GpuEvent {
+            completes_at: at,
+            id,
+        })
     }
 
     /// Block the host until `e` completes (cf. `cudaEventSynchronize`).
     pub fn event_synchronize(&mut self, e: &GpuEvent) {
         self.clock.advance_to(e.completes_at);
+        if let Some(ch) = &mut self.checks {
+            ch.host_join_event(e.id);
+        }
     }
 
     /// Make everything subsequently enqueued on `s` wait for `e`
@@ -437,6 +638,9 @@ impl GpuRuntime {
     pub fn stream_wait_event(&mut self, s: &StreamHandle, e: &GpuEvent) -> Result<(), GpuError> {
         let at = e.completes_at;
         self.engine(s)?.delay_until(at);
+        if let Some(ch) = &mut self.checks {
+            ch.wait_event((s.device.index(), s.idx), e.id);
+        }
         Ok(())
     }
 }
@@ -750,6 +954,101 @@ mod tests {
         assert!(json.contains("numa0 -> gpu0"));
         // Tracing off by default and after take.
         assert!(rt.take_trace().is_none());
+    }
+
+    #[test]
+    fn racy_fixtures_are_flagged_and_synced_fixture_is_clean() {
+        let ww = testkit::racy_unsynchronized_writes().unwrap();
+        assert!(
+            ww.iter().any(|f| f.contains("race")),
+            "write-write race not flagged: {ww:?}"
+        );
+        let rw = testkit::racy_read_write_overlap().unwrap();
+        assert!(
+            rw.iter().any(|f| f.contains("race")),
+            "read-write race not flagged: {rw:?}"
+        );
+        let kc = testkit::racy_kernel_vs_copy().unwrap();
+        assert!(
+            kc.iter().any(|f| f.contains("race")),
+            "kernel-vs-copy race not flagged: {kc:?}"
+        );
+        let clean = testkit::synced_cross_stream_pipeline().unwrap();
+        assert_eq!(clean, Vec::<String>::new());
+    }
+
+    #[test]
+    fn host_sync_orders_sequential_stream_reuse() {
+        // Write on s1, host-sync, then unrelated stream reads: the
+        // stream_synchronize edge orders the accesses; no race.
+        let mut rt = testkit::single_gpu_runtime();
+        rt.enable_checks();
+        let dev = DeviceId(0);
+        let s1 = rt.create_stream(dev).unwrap();
+        let s2 = rt.create_stream(dev).unwrap();
+        let host = Buffer::pinned_host(NumaId(0), 1 << 20);
+        let shared = Buffer::device(dev, 1 << 20);
+        let sink = Buffer::device(dev, 1 << 20);
+        rt.memcpy_async(&shared, &host, 4096, &s1).unwrap();
+        rt.stream_synchronize(&s1).unwrap();
+        rt.memcpy_async(&sink, &shared, 4096, &s2).unwrap();
+        rt.stream_synchronize(&s2).unwrap();
+        assert_eq!(rt.check_findings(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn same_stream_reuse_is_ordered_and_clean() {
+        let mut rt = testkit::single_gpu_runtime();
+        rt.enable_checks();
+        let s = rt.default_stream(DeviceId(0)).unwrap();
+        let host = Buffer::pinned_host(NumaId(0), 1 << 20);
+        let dev = Buffer::device(DeviceId(0), 1 << 20);
+        for _ in 0..5 {
+            rt.memcpy_async(&dev, &host, 4096, &s).unwrap();
+            rt.memcpy_async(&host, &dev, 4096, &s).unwrap();
+        }
+        rt.stream_synchronize(&s).unwrap();
+        assert_eq!(rt.check_findings(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn event_synchronize_orders_host_against_stream() {
+        let mut rt = testkit::single_gpu_runtime();
+        rt.enable_checks();
+        let dev = DeviceId(0);
+        let s1 = rt.create_stream(dev).unwrap();
+        let s2 = rt.create_stream(dev).unwrap();
+        let host = Buffer::pinned_host(NumaId(0), 1 << 20);
+        let shared = Buffer::device(dev, 1 << 20);
+        let sink = Buffer::device(dev, 1 << 20);
+        rt.memcpy_async(&shared, &host, 4096, &s1).unwrap();
+        let e = rt.event_record(&s1).unwrap();
+        // Host waits on the event; the next submission carries the edge.
+        rt.event_synchronize(&e);
+        rt.memcpy_async(&sink, &shared, 4096, &s2).unwrap();
+        rt.stream_synchronize(&s2).unwrap();
+        assert_eq!(rt.check_findings(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn checked_run_is_bit_identical_to_unchecked() {
+        let run = |check: bool| {
+            let mut rt = testkit::single_gpu_runtime_with_seed(11);
+            if check {
+                rt.enable_checks();
+            }
+            let s = rt.default_stream(DeviceId(0)).unwrap();
+            let host = Buffer::pinned_host(NumaId(0), 1 << 24);
+            let dev = Buffer::device(DeviceId(0), 1 << 24);
+            for _ in 0..20 {
+                rt.launch_empty(&s).unwrap();
+                rt.memcpy_async(&dev, &host, 1 << 20, &s).unwrap();
+            }
+            rt.device_synchronize().unwrap();
+            assert!(rt.check_findings().is_empty() || !check);
+            rt.now()
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub fn single_gpu_runtime_with_seed(seed: u64) -> GpuRuntime {
             25.0,
         )
         .build()
-        .expect("testkit topology is valid");
+        .unwrap_or_else(|e| panic!("testkit topology is valid: {e}"));
     GpuRuntime::new(Arc::new(topo), vec![test_gpu_model()], seed)
 }
 
@@ -82,12 +82,87 @@ pub fn dual_gpu_runtime_with_seed(seed: u64) -> GpuRuntime {
             100.0,
         )
         .build()
-        .expect("testkit topology is valid");
+        .unwrap_or_else(|e| panic!("testkit topology is valid: {e}"));
     GpuRuntime::new(
         Arc::new(topo),
         vec![test_gpu_model(), test_gpu_model()],
         seed,
     )
+}
+
+/// Intentionally racy fixture: two streams write the same device buffer
+/// with no ordering between them. The sanitizer must report a race; the
+/// returned findings are non-empty by design.
+pub fn racy_unsynchronized_writes() -> Result<Vec<String>, crate::GpuError> {
+    let mut rt = single_gpu_runtime();
+    rt.enable_checks();
+    let dev = DeviceId(0);
+    let s1 = rt.create_stream(dev)?;
+    let s2 = rt.create_stream(dev)?;
+    let host1 = crate::Buffer::pinned_host(NumaId(0), 1 << 20);
+    let host2 = crate::Buffer::pinned_host(NumaId(0), 1 << 20);
+    let shared = crate::Buffer::device(dev, 1 << 20);
+    rt.memcpy_async(&shared, &host1, 4096, &s1)?;
+    rt.memcpy_async(&shared, &host2, 4096, &s2)?; // write-write race
+    rt.stream_synchronize(&s1)?;
+    rt.stream_synchronize(&s2)?;
+    Ok(rt.check_findings())
+}
+
+/// Intentionally racy fixture: one stream reads a buffer another stream
+/// is writing, with no happens-before edge. Findings non-empty by design.
+pub fn racy_read_write_overlap() -> Result<Vec<String>, crate::GpuError> {
+    let mut rt = single_gpu_runtime();
+    rt.enable_checks();
+    let dev = DeviceId(0);
+    let s1 = rt.create_stream(dev)?;
+    let s2 = rt.create_stream(dev)?;
+    let host = crate::Buffer::pinned_host(NumaId(0), 1 << 20);
+    let shared = crate::Buffer::device(dev, 1 << 20);
+    let sink = crate::Buffer::device(dev, 1 << 20);
+    rt.memcpy_async(&shared, &host, 4096, &s1)?; // writer
+    rt.memcpy_async(&sink, &shared, 4096, &s2)?; // unordered reader
+    rt.stream_synchronize(&s1)?;
+    rt.stream_synchronize(&s2)?;
+    Ok(rt.check_findings())
+}
+
+/// The same cross-stream pattern as [`racy_read_write_overlap`], correctly
+/// ordered through `event_record` + `stream_wait_event`: must be clean.
+pub fn synced_cross_stream_pipeline() -> Result<Vec<String>, crate::GpuError> {
+    let mut rt = single_gpu_runtime();
+    rt.enable_checks();
+    let dev = DeviceId(0);
+    let s1 = rt.create_stream(dev)?;
+    let s2 = rt.create_stream(dev)?;
+    let host = crate::Buffer::pinned_host(NumaId(0), 1 << 20);
+    let shared = crate::Buffer::device(dev, 1 << 20);
+    let sink = crate::Buffer::device(dev, 1 << 20);
+    rt.memcpy_async(&shared, &host, 4096, &s1)?;
+    let done = rt.event_record(&s1)?;
+    rt.stream_wait_event(&s2, &done)?; // orders the read after the write
+    rt.memcpy_async(&sink, &shared, 4096, &s2)?;
+    rt.stream_synchronize(&s1)?;
+    rt.stream_synchronize(&s2)?;
+    Ok(rt.check_findings())
+}
+
+/// Intentionally racy fixture: a kernel annotated as writing a buffer on
+/// one stream while another stream copies out of it, unordered.
+pub fn racy_kernel_vs_copy() -> Result<Vec<String>, crate::GpuError> {
+    let mut rt = single_gpu_runtime();
+    rt.enable_checks();
+    let dev = DeviceId(0);
+    let s1 = rt.create_stream(dev)?;
+    let s2 = rt.create_stream(dev)?;
+    let shared = crate::Buffer::device(dev, 1 << 20);
+    let host = crate::Buffer::pinned_host(NumaId(0), 1 << 20);
+    rt.launch_kernel(&s1, SimDuration::from_us(5.0))?;
+    rt.annotate_kernel_buffers(&s1, &[], &[shared]);
+    rt.memcpy_async(&host, &shared, 4096, &s2)?; // reads mid-kernel
+    rt.stream_synchronize(&s1)?;
+    rt.stream_synchronize(&s2)?;
+    Ok(rt.check_findings())
 }
 
 #[cfg(test)]

@@ -101,10 +101,7 @@ impl MemDomainModel {
     }
 
     fn op_index(op: StreamOp) -> usize {
-        StreamOp::ALL
-            .iter()
-            .position(|&o| o == op)
-            .expect("op in ALL")
+        op.index()
     }
 
     /// Raw sustainable traffic rate (actual bytes per second) for a
@@ -165,8 +162,13 @@ impl MemDomainModel {
         StreamOp::ALL
             .iter()
             .map(|&op| (op, self.reported_bw(op, placement)))
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("five ops")
+            .fold((StreamOp::Copy, f64::NEG_INFINITY), |best, cur| {
+                if cur.1.total_cmp(&best.1).is_gt() {
+                    cur
+                } else {
+                    best
+                }
+            })
     }
 }
 

@@ -70,6 +70,17 @@ impl StreamOp {
         self.actual_arrays() as f64 / self.reported_arrays() as f64
     }
 
+    /// This kernel's position in [`StreamOp::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            StreamOp::Copy => 0,
+            StreamOp::Mul => 1,
+            StreamOp::Add => 2,
+            StreamOp::Triad => 3,
+            StreamOp::Dot => 4,
+        }
+    }
+
     /// The kernel name as BabelStream prints it.
     pub fn name(self) -> &'static str {
         match self {

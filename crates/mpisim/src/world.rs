@@ -3,6 +3,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
+use dessan::{RuntimeChecks, VectorClock};
 use doe_simtime::{SimDuration, SimRng, SimTime};
 use doe_topo::{CoreId, NodeTopology, NumaId};
 
@@ -31,6 +32,8 @@ pub enum MpiError {
     },
     /// A rank cannot send to itself.
     SelfMessage,
+    /// The [`MpiConfig`] failed validation.
+    InvalidConfig(String),
 }
 
 impl std::fmt::Display for MpiError {
@@ -43,6 +46,7 @@ impl std::fmt::Display for MpiError {
                 write!(f, "rank {to} has no pending message from rank {from}")
             }
             MpiError::SelfMessage => write!(f, "self-send not supported"),
+            MpiError::InvalidConfig(why) => write!(f, "invalid MpiConfig: {why}"),
         }
     }
 }
@@ -82,6 +86,47 @@ struct Message {
     eager_arrival: Option<SimTime>,
     path: PathCosts,
     from: usize,
+    /// Whether the send had blocking (standard-mode) completion semantics.
+    blocking: bool,
+    /// Sender's vector clock at the send, when `--check` is on.
+    clock: Option<VectorClock>,
+}
+
+/// Sanitizer state for one world: per-rank vector clocks (joined on
+/// send/recv/barrier) plus the blocking-rendezvous wait-for graph used to
+/// detect send/recv deadlock cycles.
+#[derive(Debug)]
+struct MpiChecks {
+    handle: RuntimeChecks,
+    vcs: Vec<VectorClock>,
+    /// Outstanding blocking rendezvous sends, as (sender, receiver) wait
+    /// edges: the sender is inside `MPI_Send` until the receiver matches.
+    waits: Vec<(usize, usize)>,
+}
+
+impl MpiChecks {
+    fn new(nranks: usize) -> Self {
+        MpiChecks {
+            handle: RuntimeChecks::enabled(),
+            vcs: vec![VectorClock::new(); nranks],
+            waits: Vec::new(),
+        }
+    }
+
+    /// True when some rank is reachable from `start` along wait edges.
+    fn waits_on(&self, start: usize, goal: usize) -> bool {
+        let mut stack = vec![start];
+        let mut seen = std::collections::BTreeSet::new();
+        while let Some(x) = stack.pop() {
+            if x == goal {
+                return true;
+            }
+            if seen.insert(x) {
+                stack.extend(self.waits.iter().filter(|&&(f, _)| f == x).map(|&(_, t)| t));
+            }
+        }
+        false
+    }
 }
 
 /// A simulated intra-node MPI world.
@@ -100,15 +145,33 @@ pub struct MpiSim {
     /// common mode (DVFS, OS state), not per-message noise — per-message
     /// noise would average away over OSU's 1000 inner iterations.
     run_factor: f64,
+    /// Sanitizer state, present only under `--check`. Passive: it never
+    /// touches clocks, ports, or the RNG, so checked runs are bit-identical.
+    checks: Option<Box<MpiChecks>>,
 }
 
 impl MpiSim {
     /// Create a world over `topo` with the given MPI implementation model.
+    ///
+    /// # Panics
+    /// Panics if `cfg` fails validation; use [`Self::try_new`] to handle
+    /// that as an error.
     pub fn new(topo: Arc<NodeTopology>, cfg: MpiConfig, seed: u64) -> Self {
-        cfg.validate().expect("invalid MpiConfig");
+        match Self::try_new(topo, cfg, seed) {
+            Ok(w) => w,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Create a world over `topo`, rejecting invalid configurations.
+    pub fn try_new(topo: Arc<NodeTopology>, cfg: MpiConfig, seed: u64) -> Result<Self, MpiError> {
+        if let Err(why) = cfg.validate() {
+            return Err(MpiError::InvalidConfig(why));
+        }
         let mut rng = SimRng::stream(seed, &format!("mpi/{}", topo.name), 0);
         let run_factor = cfg.jitter.sample_scalar(1.0, &mut rng).max(0.05);
-        MpiSim {
+        let checks = dessan::checks_enabled().then(|| Box::new(MpiChecks::new(0)));
+        Ok(MpiSim {
             topo,
             cfg,
             ranks: Vec::new(),
@@ -116,7 +179,24 @@ impl MpiSim {
             mailboxes: Vec::new(),
             ports: HashMap::new(),
             run_factor,
+            checks,
+        })
+    }
+
+    /// Turn the sanitizer on for this world regardless of the global
+    /// `--check` switch (test fixtures).
+    pub fn enable_checks(&mut self) {
+        if self.checks.is_none() {
+            self.checks = Some(Box::new(MpiChecks::new(self.ranks.len())));
         }
+    }
+
+    /// Findings the sanitizer has recorded against this world so far.
+    pub fn check_findings(&self) -> Vec<String> {
+        self.checks
+            .as_ref()
+            .map(|c| c.handle.findings().iter().map(|f| f.to_string()).collect())
+            .unwrap_or_default()
     }
 
     #[inline]
@@ -155,6 +235,9 @@ impl MpiSim {
         self.ranks.push(RankInfo { core, buffer });
         self.clocks.push(SimTime::ZERO);
         self.mailboxes.push(VecDeque::new());
+        if let Some(ch) = &mut self.checks {
+            ch.vcs.push(VectorClock::new());
+        }
         Ok(Rank(self.ranks.len() - 1))
     }
 
@@ -184,6 +267,20 @@ impl MpiSim {
         let max = self.clocks.iter().copied().max().unwrap_or(SimTime::ZERO);
         for c in &mut self.clocks {
             *c = max;
+        }
+        // A barrier orders everything before it at every rank before
+        // everything after it: all vector clocks join to the common LUB.
+        if let Some(ch) = &mut self.checks {
+            let mut lub = VectorClock::new();
+            for (i, vc) in ch.vcs.iter_mut().enumerate() {
+                vc.tick(i);
+            }
+            for vc in &ch.vcs {
+                lub.join(vc);
+            }
+            for vc in &mut ch.vcs {
+                *vc = lub.clone();
+            }
         }
     }
 
@@ -221,8 +318,32 @@ impl MpiSim {
     ///
     /// Eager messages (≤ threshold) complete locally once buffered; larger
     /// messages use rendezvous and the sender's completion is settled when
-    /// the matching `recv` executes.
+    /// the matching `recv` executes. Under `--check`, a rendezvous send
+    /// registers the sender as blocked on the receiver, and a cycle of
+    /// such waits is reported as a deadlock — the classic head-to-head
+    /// blocking-send hazard the simulator's sequential driver cannot hang
+    /// on but real MPI would.
     pub fn send(&mut self, from: Rank, to: Rank, bytes: u64) -> Result<(), MpiError> {
+        self.send_impl(from, to, bytes, true)
+    }
+
+    /// Nonblocking-start standard send (models `MPI_Isend` whose wait the
+    /// simulator settles at the matching `recv`). The cost model is
+    /// identical to [`Self::send`]; the only difference is that under
+    /// `--check` no blocking wait edge is registered, so posting both
+    /// directions of an exchange before either `recv` is legal — which is
+    /// exactly why real collective algorithms use nonblocking internals.
+    pub fn send_nb(&mut self, from: Rank, to: Rank, bytes: u64) -> Result<(), MpiError> {
+        self.send_impl(from, to, bytes, false)
+    }
+
+    fn send_impl(
+        &mut self,
+        from: Rank,
+        to: Rank,
+        bytes: u64,
+        blocking: bool,
+    ) -> Result<(), MpiError> {
         if from == to {
             return Err(MpiError::SelfMessage);
         }
@@ -263,12 +384,38 @@ impl MpiSim {
         } else {
             None
         };
+        let clock = match &mut self.checks {
+            Some(ch) => {
+                ch.vcs[from.0].tick(from.0);
+                if blocking && !eager {
+                    // The sender is now inside MPI_Send until `to` posts
+                    // the matching recv. If `to` is already (transitively)
+                    // blocked on `from`, no rank in that cycle can reach
+                    // its recv: deadlock.
+                    if ch.waits_on(to.0, from.0) {
+                        ch.handle.report(
+                            "deadlock",
+                            format!(
+                                "rank {} blocking rendezvous send of {} B to rank {} closes a \
+                                 wait cycle: rank {} is already blocked waiting on rank {}",
+                                from.0, bytes, to.0, to.0, from.0
+                            ),
+                        );
+                    }
+                    ch.waits.push((from.0, to.0));
+                }
+                Some(ch.vcs[from.0].clone())
+            }
+            None => None,
+        };
         self.mailboxes[to.0].push_back(Message {
             bytes,
             sender_ready,
             eager_arrival,
             path,
             from: from.0,
+            blocking,
+            clock,
         });
         Ok(())
     }
@@ -287,7 +434,26 @@ impl MpiSim {
                 to: at.0,
                 from: from.0,
             })?;
-        let msg = self.mailboxes[at.0].remove(pos).expect("position valid");
+        let Some(msg) = self.mailboxes[at.0].remove(pos) else {
+            return Err(MpiError::NoMatchingMessage {
+                to: at.0,
+                from: from.0,
+            });
+        };
+        if let Some(ch) = &mut self.checks {
+            // Receiving joins the sender's clock into the receiver's: the
+            // send happens-before everything after this recv.
+            ch.vcs[at.0].tick(at.0);
+            if let Some(c) = &msg.clock {
+                ch.vcs[at.0].join(c);
+            }
+            // A matched rendezvous send unblocks its sender.
+            if msg.blocking && msg.eager_arrival.is_none() {
+                if let Some(w) = ch.waits.iter().position(|&e| e == (msg.from, at.0)) {
+                    ch.waits.remove(w);
+                }
+            }
+        }
         let o_r = self.scaled(self.cfg.recv_overhead);
         let recv_post = self.clocks[at.0];
         let done = match msg.eager_arrival {
@@ -325,6 +491,26 @@ impl MpiSim {
         };
         self.clocks[at.0] = done;
         Ok(done)
+    }
+}
+
+impl Drop for MpiSim {
+    fn drop(&mut self) {
+        // Leak check: every message a benchmark sends must be received, or
+        // its timing never lands anywhere — a silent protocol mismatch.
+        // Findings flush to the global sink when `ch.handle` drops.
+        let Some(ch) = &mut self.checks else { return };
+        for (to, mailbox) in self.mailboxes.iter().enumerate() {
+            for m in mailbox {
+                ch.handle.report(
+                    "msg-leak",
+                    format!(
+                        "world dropped with an unreceived {}-byte message from rank {} to rank {}",
+                        m.bytes, m.from, to
+                    ),
+                );
+            }
+        }
     }
 }
 
@@ -474,6 +660,105 @@ mod tests {
         let t1 = w.recv(b, a, 8).unwrap();
         let t2 = w.recv(b, a, 8).unwrap();
         assert!(t2 >= t1);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_by_try_new() {
+        let mut c = quiet_cfg();
+        c.shm_bandwidth = -1.0;
+        assert!(matches!(
+            MpiSim::try_new(topo(), c, 1),
+            Err(MpiError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn head_to_head_rendezvous_sends_are_flagged_as_deadlock() {
+        let mut w = MpiSim::new(topo(), quiet_cfg(), 1);
+        let a = w.add_host_rank(CoreId(0)).unwrap();
+        let b = w.add_host_rank(CoreId(1)).unwrap();
+        w.enable_checks();
+        let big = w.config().eager_threshold + 1;
+        w.send(a, b, big).unwrap();
+        // The simulator's sequential driver sails on, but real blocking
+        // sends would hang here — the sanitizer must say so.
+        w.send(b, a, big).unwrap();
+        let findings = w.check_findings();
+        assert!(
+            findings.iter().any(|f| f.contains("deadlock")),
+            "missing deadlock finding: {findings:?}"
+        );
+        w.recv(a, b, big).unwrap();
+        w.recv(b, a, big).unwrap();
+    }
+
+    #[test]
+    fn three_rank_rendezvous_cycle_is_flagged() {
+        let mut w = MpiSim::new(topo(), quiet_cfg(), 1);
+        let a = w.add_host_rank(CoreId(0)).unwrap();
+        let b = w.add_host_rank(CoreId(1)).unwrap();
+        let c = w.add_host_rank(CoreId(2)).unwrap();
+        w.enable_checks();
+        let big = w.config().eager_threshold + 1;
+        w.send(a, b, big).unwrap();
+        w.send(b, c, big).unwrap();
+        w.send(c, a, big).unwrap(); // closes a -> b -> c -> a
+        let findings = w.check_findings();
+        assert!(
+            findings.iter().any(|f| f.contains("deadlock")),
+            "missing deadlock finding: {findings:?}"
+        );
+        w.recv(b, a, big).unwrap();
+        w.recv(c, b, big).unwrap();
+        w.recv(a, c, big).unwrap();
+    }
+
+    #[test]
+    fn matched_exchange_via_send_nb_is_clean() {
+        let mut w = MpiSim::new(topo(), quiet_cfg(), 1);
+        let a = w.add_host_rank(CoreId(0)).unwrap();
+        let b = w.add_host_rank(CoreId(1)).unwrap();
+        w.enable_checks();
+        let big = w.config().eager_threshold + 1;
+        w.send_nb(a, b, big).unwrap();
+        w.send_nb(b, a, big).unwrap();
+        w.recv(a, b, big).unwrap();
+        w.recv(b, a, big).unwrap();
+        assert_eq!(w.check_findings(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn checked_pingpong_is_clean_and_bit_identical_to_unchecked() {
+        let run = |check: bool| {
+            let mut w = MpiSim::new(topo(), quiet_cfg(), 7);
+            let a = w.add_host_rank(CoreId(0)).unwrap();
+            let b = w.add_host_rank(CoreId(4)).unwrap();
+            if check {
+                w.enable_checks();
+            }
+            let lat = pingpong_oneway_us(&mut w, a, b, 1 << 20, 10);
+            assert!(w.check_findings().is_empty(), "{:?}", w.check_findings());
+            lat
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn unreceived_message_is_flagged_as_leak_on_drop() {
+        dessan::take_global_findings(); // start from a drained sink
+        {
+            let mut w = MpiSim::new(topo(), quiet_cfg(), 1);
+            let a = w.add_host_rank(CoreId(0)).unwrap();
+            let b = w.add_host_rank(CoreId(1)).unwrap();
+            w.enable_checks();
+            w.send(a, b, 64).unwrap();
+            let _ = b;
+        }
+        let findings = dessan::take_global_findings();
+        assert!(
+            findings.iter().any(|f| f.contains("msg-leak")),
+            "missing leak finding: {findings:?}"
+        );
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::collections::VecDeque;
 
+use dessan::{RuntimeChecks, VectorClock};
 use doe_simtime::{Jitter, SimDuration, SimRng, SimTime};
 
 use crate::fabric::{Fabric, NodeId};
@@ -79,6 +80,15 @@ struct Msg {
     latency: SimDuration,
     bandwidth: f64,
     from: usize,
+    /// Sender's vector clock at the send, when `--check` is on.
+    clock: Option<VectorClock>,
+}
+
+/// Sanitizer state: per-rank vector clocks, joined on send/recv/barrier.
+#[derive(Debug)]
+struct NetChecks {
+    handle: RuntimeChecks,
+    vcs: Vec<VectorClock>,
 }
 
 /// The inter-node rank world.
@@ -90,6 +100,9 @@ pub struct NetWorld {
     clocks: Vec<SimTime>,
     mailboxes: Vec<VecDeque<Msg>>,
     run_factor: f64,
+    /// Sanitizer state, present only under `--check`. Passive: never
+    /// touches clocks or the RNG, so checked runs are bit-identical.
+    checks: Option<Box<NetChecks>>,
 }
 
 impl NetWorld {
@@ -97,6 +110,12 @@ impl NetWorld {
     pub fn new(fabric: Fabric, nic: NicConfig, seed: u64) -> Self {
         let mut rng = SimRng::stream(seed, "netsim", 0);
         let run_factor = nic.jitter.sample_scalar(1.0, &mut rng).max(0.05);
+        let checks = dessan::checks_enabled().then(|| {
+            Box::new(NetChecks {
+                handle: RuntimeChecks::enabled(),
+                vcs: Vec::new(),
+            })
+        });
         NetWorld {
             fabric,
             nic,
@@ -104,7 +123,27 @@ impl NetWorld {
             clocks: Vec::new(),
             mailboxes: Vec::new(),
             run_factor,
+            checks,
         }
+    }
+
+    /// Turn the sanitizer on for this world regardless of the global
+    /// `--check` switch (test fixtures).
+    pub fn enable_checks(&mut self) {
+        if self.checks.is_none() {
+            self.checks = Some(Box::new(NetChecks {
+                handle: RuntimeChecks::enabled(),
+                vcs: vec![VectorClock::new(); self.nodes.len()],
+            }));
+        }
+    }
+
+    /// Findings the sanitizer has recorded against this world so far.
+    pub fn check_findings(&self) -> Vec<String> {
+        self.checks
+            .as_ref()
+            .map(|c| c.handle.findings().iter().map(|f| f.to_string()).collect())
+            .unwrap_or_default()
     }
 
     /// Mutable fabric access (e.g. to add background flows mid-experiment).
@@ -120,6 +159,9 @@ impl NetWorld {
         self.nodes.push(node);
         self.clocks.push(SimTime::ZERO);
         self.mailboxes.push(VecDeque::new());
+        if let Some(ch) = &mut self.checks {
+            ch.vcs.push(VectorClock::new());
+        }
         Ok(NetRank(self.nodes.len() - 1))
     }
 
@@ -136,6 +178,18 @@ impl NetWorld {
         let max = self.clocks.iter().copied().max().unwrap_or(SimTime::ZERO);
         for c in &mut self.clocks {
             *c = max;
+        }
+        if let Some(ch) = &mut self.checks {
+            // A barrier synchronizes everyone: each rank ticks, then all
+            // vector clocks collapse to their least upper bound.
+            let mut lub = VectorClock::new();
+            for (i, vc) in ch.vcs.iter_mut().enumerate() {
+                vc.tick(i);
+                lub.join(vc);
+            }
+            for vc in &mut ch.vcs {
+                vc.join(&lub);
+            }
         }
     }
 
@@ -183,6 +237,13 @@ impl NetWorld {
         } else {
             None
         };
+        let vclock = match &mut self.checks {
+            Some(ch) => {
+                ch.vcs[from.0].tick(from.0);
+                Some(ch.vcs[from.0].clone())
+            }
+            None => None,
+        };
         self.mailboxes[to.0].push_back(Msg {
             bytes,
             sender_ready,
@@ -190,6 +251,7 @@ impl NetWorld {
             latency,
             bandwidth,
             from: from.0,
+            clock: vclock,
         });
         Ok(())
     }
@@ -206,7 +268,18 @@ impl NetWorld {
                 to: at.0,
                 from: from.0,
             })?;
-        let msg = self.mailboxes[at.0].remove(pos).expect("valid index");
+        let Some(msg) = self.mailboxes[at.0].remove(pos) else {
+            return Err(NetError::NoMatchingMessage {
+                to: at.0,
+                from: from.0,
+            });
+        };
+        if let Some(ch) = &mut self.checks {
+            ch.vcs[at.0].tick(at.0);
+            if let Some(sent) = &msg.clock {
+                ch.vcs[at.0].join(sent);
+            }
+        }
         let o_r = self.scaled(self.nic.recv_overhead);
         let recv_post = self.clocks[at.0];
         let done = match msg.eager_arrival {
@@ -268,11 +341,11 @@ impl NetWorld {
                 self.recv(ranks[r], ranks[prev], chunk)?;
             }
         }
-        Ok(ranks
-            .iter()
-            .map(|&r| self.time(r).expect("rank exists"))
-            .max()
-            .expect("nonempty"))
+        let mut latest = SimTime::ZERO;
+        for &r in ranks {
+            latest = latest.max(self.time(r)?);
+        }
+        Ok(latest)
     }
 
     /// Achieved streaming bandwidth (GB/s) with a 64-message window —
@@ -299,6 +372,27 @@ impl NetWorld {
         }
         let dt = self.time(a)?.since(t0);
         Ok(dt.bandwidth_gb_s(bytes * WINDOW as u64 * iters as u64))
+    }
+}
+
+impl Drop for NetWorld {
+    fn drop(&mut self) {
+        // Under `--check`, a message still sitting in a mailbox when the
+        // world dies was sent but never received — a lost-message bug in
+        // the benchmark's communication protocol.
+        if let Some(ch) = &mut self.checks {
+            for (to, mbox) in self.mailboxes.iter().enumerate() {
+                for msg in mbox {
+                    ch.handle.report(
+                        "msg-leak",
+                        format!(
+                            "message of {} B from rank {} to rank {} was never received",
+                            msg.bytes, msg.from, to
+                        ),
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -419,6 +513,51 @@ mod tests {
         let mut w = world();
         let a = w.add_rank(NodeId(0)).unwrap();
         assert!(w.allreduce_ring(&[a], 1024).is_err());
+    }
+
+    #[test]
+    fn checked_pingpong_is_clean_and_bit_identical_to_unchecked() {
+        let mut plain = world();
+        let a = plain.add_rank(NodeId(0)).unwrap();
+        let b = plain.add_rank(NodeId(1)).unwrap();
+        let base = plain.pingpong_latency_us(a, b, 4096, 100).unwrap();
+
+        let mut checked = world();
+        checked.enable_checks();
+        let a = checked.add_rank(NodeId(0)).unwrap();
+        let b = checked.add_rank(NodeId(1)).unwrap();
+        let lat = checked.pingpong_latency_us(a, b, 4096, 100).unwrap();
+        assert_eq!(base.to_bits(), lat.to_bits(), "sanitizer must be passive");
+        assert!(checked.check_findings().is_empty());
+    }
+
+    #[test]
+    fn checked_collectives_run_clean() {
+        let mut w = world();
+        w.enable_checks();
+        let ranks: Vec<NetRank> = (0..4)
+            .map(|i| w.add_rank(NodeId(i)).expect("node"))
+            .collect();
+        w.barrier();
+        w.allreduce_ring(&ranks, 1 << 20).expect("allreduce");
+        w.streaming_bandwidth(ranks[0], ranks[1], 1 << 16, 2)
+            .expect("bw");
+        assert!(w.check_findings().is_empty(), "{:?}", w.check_findings());
+    }
+
+    #[test]
+    fn unreceived_message_is_flagged_as_leak_on_drop() {
+        let mut w = world();
+        w.enable_checks();
+        let a = w.add_rank(NodeId(0)).unwrap();
+        let b = w.add_rank(NodeId(1)).unwrap();
+        w.send(a, b, 4096).unwrap();
+        drop(w); // message to b never received
+        let findings = dessan::take_global_findings();
+        assert!(
+            findings.iter().any(|f| f.contains("msg-leak")),
+            "{findings:?}"
+        );
     }
 
     #[test]

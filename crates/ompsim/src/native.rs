@@ -65,6 +65,7 @@ impl NativeBackend {
             return;
         }
         let chunks = self.static_chunks(n);
+        let fj = dessan::checks_enabled().then(|| dessan::ForkJoin::fork(self.nthreads - 1));
         std::thread::scope(|s| {
             // The calling thread takes the first chunk, like an OpenMP
             // master thread participating in the team.
@@ -74,6 +75,28 @@ impl NativeBackend {
             }
             body(chunks[0].clone());
         });
+        if let Some(fj) = fj {
+            Self::sanitize_static_region("parallel_for", &chunks, n, fj);
+        }
+    }
+
+    /// `--check` hook for a completed static region: the chunks must
+    /// partition the index space (the invariant `SendPtr` disjointness in
+    /// `doe-babelstream` rests on), and the fork-join vector clocks must
+    /// order every worker before the continuation.
+    fn sanitize_static_region(
+        region: &str,
+        chunks: &[Range<usize>],
+        n: usize,
+        fj: dessan::ForkJoin,
+    ) {
+        let mut checks = dessan::RuntimeChecks::enabled();
+        if let Some(msg) = dessan::verify_partition(chunks, n) {
+            checks.report("omp-chunks", format!("{region}(n={n}): {msg}"));
+        }
+        if let Err(msg) = fj.join_all() {
+            checks.report("omp-join", format!("{region}(n={n}): {msg}"));
+        }
     }
 
     /// Run `body` over `[0, n)` with a dynamic schedule (cf.
@@ -93,12 +116,21 @@ impl NativeBackend {
             return;
         }
         let next = std::sync::atomic::AtomicUsize::new(0);
+        // Under `--check`, record every claimed block so the cover check
+        // can prove each index ran exactly once despite the racy claims.
+        let claims = dessan::checks_enabled().then(|| std::sync::Mutex::new(Vec::new()));
         let worker = |_: usize| loop {
             let start = next.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
             if start >= n {
                 break;
             }
-            body(start..(start + chunk).min(n));
+            let block = start..(start + chunk).min(n);
+            if let Some(c) = &claims {
+                c.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(block.clone());
+            }
+            body(block);
         };
         std::thread::scope(|s| {
             for t in 1..self.nthreads {
@@ -107,6 +139,13 @@ impl NativeBackend {
             }
             worker(0);
         });
+        if let Some(c) = claims {
+            let claimed = c.into_inner().unwrap_or_else(|e| e.into_inner());
+            if let Some(msg) = dessan::verify_claimed_cover(&claimed, n) {
+                dessan::RuntimeChecks::enabled()
+                    .report("omp-chunks", format!("parallel_for_dynamic(n={n}): {msg}"));
+            }
+        }
     }
 
     /// Parallel map-reduce over `[0, n)`: each thread folds its chunk with
@@ -121,6 +160,7 @@ impl NativeBackend {
             return reduce(identity, map(0..n));
         }
         let chunks = self.static_chunks(n);
+        let fj = dessan::checks_enabled().then(|| dessan::ForkJoin::fork(self.nthreads - 1));
         let partials = std::thread::scope(|s| {
             let handles: Vec<_> = chunks
                 .iter()
@@ -133,10 +173,18 @@ impl NativeBackend {
                 .collect();
             let mut results = vec![map(chunks[0].clone())];
             for h in handles {
-                results.push(h.join().expect("worker panicked"));
+                // A worker panic is the caller's panic: re-raise it on the
+                // joining thread instead of wrapping it in a new one.
+                match h.join() {
+                    Ok(r) => results.push(r),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
             }
             results
         });
+        if let Some(fj) = fj {
+            Self::sanitize_static_region("parallel_reduce", &chunks, n, fj);
+        }
         partials.into_iter().fold(identity, &reduce)
     }
 }
@@ -235,6 +283,48 @@ mod tests {
     #[should_panic(expected = "chunk size")]
     fn zero_chunk_rejected() {
         NativeBackend::new(2).parallel_for_dynamic(10, 0, |_| {});
+    }
+
+    /// Serializes tests that toggle the process-global check switch or
+    /// drain the global findings sink.
+    static CHECK_GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn sanitized_regions_run_clean_under_checks() {
+        // One test at a time owns the process-global switch: enable, run
+        // every region shape, drain, restore. Other tests in this binary
+        // only ever see extra (clean) checking while this runs.
+        let _guard = CHECK_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        dessan::set_checks_enabled(true);
+        let b = NativeBackend::new(4);
+        let hits = AtomicUsize::new(0);
+        b.parallel_for(1_000, |r| {
+            hits.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        b.parallel_for_dynamic(1_003, 32, |r| {
+            hits.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        let sum = b.parallel_reduce(100, 0usize, |r| r.sum::<usize>(), |a, c| a + c);
+        dessan::set_checks_enabled(false);
+        assert_eq!(hits.load(Ordering::Relaxed), 2_003);
+        assert_eq!(sum, 4950);
+        let findings = dessan::take_global_findings();
+        assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+    }
+
+    #[test]
+    fn corrupted_partition_is_flagged() {
+        let _guard = CHECK_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        // Negative fixture: feed the checker a gapped "partition" directly.
+        let fj = dessan::ForkJoin::fork(1);
+        NativeBackend::sanitize_static_region("fixture", &[0..3, 4..8], 8, fj);
+        let findings = dessan::take_global_findings();
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.contains("omp-chunks") && f.contains("gap")),
+            "missing gap finding: {findings:?}"
+        );
     }
 
     #[test]

@@ -47,9 +47,13 @@ fn finish_time(world: &MpiSim, ranks: &[Rank]) -> SimTime {
 }
 
 /// Pairwise exchange between two ranks (both directions in flight).
+///
+/// Uses nonblocking sends, as real `MPI_Sendrecv`/allreduce internals do —
+/// with blocking standard-mode sends this head-to-head pattern deadlocks
+/// in the rendezvous regime (and `--check` would flag it).
 fn exchange(world: &mut MpiSim, a: Rank, b: Rank, bytes: u64) {
-    world.send(a, b, bytes).expect("send");
-    world.send(b, a, bytes).expect("send");
+    world.send_nb(a, b, bytes).expect("send");
+    world.send_nb(b, a, bytes).expect("send");
     world.recv(a, b, bytes).expect("recv");
     world.recv(b, a, bytes).expect("recv");
 }
@@ -79,10 +83,12 @@ fn run_ring(world: &mut MpiSim, ranks: &[Rank], bytes: u64) {
     let chunk = (bytes / p as u64).max(1);
     // Reduce-scatter then allgather: 2(P-1) steps; in each step every rank
     // sends a chunk to its successor and receives from its predecessor.
+    // Nonblocking sends: a ring of blocking rendezvous sends is a classic
+    // deadlock cycle, which is why real ring allreduces use Isend/Irecv.
     for _ in 0..(2 * (p - 1)) {
         for r in 0..p {
             let next = (r + 1) % p;
-            world.send(ranks[r], ranks[next], chunk).expect("send");
+            world.send_nb(ranks[r], ranks[next], chunk).expect("send");
         }
         for r in 0..p {
             let prev = (r + p - 1) % p;

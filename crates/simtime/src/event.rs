@@ -103,11 +103,9 @@ impl<T> EventQueue<T> {
     /// to `sink` without building an intermediate `Vec` — the
     /// allocation-free form for hot event loops.
     pub fn drain_until(&mut self, t: SimTime, mut sink: impl FnMut(Scheduled<T>)) {
-        while let Some(next) = self.peek_time() {
-            if next > t {
-                break;
-            }
-            sink(self.pop().expect("peeked event vanished"));
+        while self.peek_time().is_some_and(|next| next <= t) {
+            let Some(ev) = self.pop() else { break };
+            sink(ev);
         }
     }
 
@@ -190,6 +188,58 @@ mod tests {
         assert_eq!(q.len(), 1);
         // Nothing at or before the cut: sink never runs.
         q.drain_until(t(2.5), |_| unreachable!("no events <= 2.5 us left"));
+    }
+
+    #[test]
+    fn drain_until_on_empty_queue_never_calls_sink() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.drain_until(t(100.0), |_| unreachable!("empty queue has no events"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_until_past_everything_empties_the_queue() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.schedule(t(i as f64), i);
+        }
+        let mut seen = Vec::new();
+        q.drain_until(t(1e9), |ev| seen.push(ev.payload));
+        assert_eq!(seen, [0, 1, 2, 3, 4]);
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn drain_until_tie_break_at_exactly_t_is_inclusive_and_fifo() {
+        let mut q = EventQueue::new();
+        // Three events at exactly the cut, one just after, one before.
+        q.schedule(t(2.0), "tie-1");
+        q.schedule(t(2.0) + SimDuration::from_ps(1), "after");
+        q.schedule(t(1.0), "before");
+        q.schedule(t(2.0), "tie-2");
+        q.schedule(t(2.0), "tie-3");
+        let mut seen = Vec::new();
+        q.drain_until(t(2.0), |ev| seen.push(ev.payload));
+        // Inclusive at t, FIFO among the equal timestamps.
+        assert_eq!(seen, ["before", "tie-1", "tie-2", "tie-3"]);
+        assert_eq!(q.len(), 1);
+        let rest = q.pop().map(|e| e.payload);
+        assert_eq!(rest, Some("after"));
+    }
+
+    #[test]
+    fn drain_until_repeated_calls_resume_where_they_stopped() {
+        let mut q = EventQueue::new();
+        for i in 0..6 {
+            q.schedule(t(i as f64), i);
+        }
+        let mut first = Vec::new();
+        q.drain_until(t(2.0), |ev| first.push(ev.payload));
+        assert_eq!(first, [0, 1, 2]);
+        let mut second = Vec::new();
+        q.drain_until(t(5.0), |ev| second.push(ev.payload));
+        assert_eq!(second, [3, 4, 5]);
     }
 
     #[test]

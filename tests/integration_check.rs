@@ -1,0 +1,47 @@
+//! The sanitizer's core contract: `--check` is an observer. Enabling it
+//! must not perturb a single byte of rendered output, and a full quick
+//! campaign across all machines must produce zero findings.
+//!
+//! Kept in one `#[test]` because the checks flag is process-global.
+
+use doebench::{dessan, table4, table5, table6, table7, Campaign};
+
+/// Every rendered table for the quick campaign, concatenated.
+fn campaign_output() -> String {
+    let c = Campaign::quick();
+    let t4 = table4::run(&c);
+    let t5 = table5::run(&c);
+    let t6 = table6::run(&c);
+    let t7 = table7::summarize(&t5, &t6);
+    format!(
+        "{}\n{}\n{}\n{}\n",
+        table4::render(&t4).to_ascii(),
+        table5::render(&t5).to_ascii(),
+        table6::render(&t6).to_ascii(),
+        table7::render(&t7).to_ascii(),
+    )
+}
+
+#[test]
+fn checked_campaign_is_clean_and_byte_identical() {
+    let plain = campaign_output();
+
+    dessan::set_checks_enabled(true);
+    dessan::take_global_findings(); // discard anything older tests left
+    let checked = campaign_output();
+    let findings = dessan::take_global_findings();
+    dessan::set_checks_enabled(false);
+
+    assert!(
+        findings.is_empty(),
+        "quick campaign must run clean under --check, got:\n{}",
+        findings.join("\n")
+    );
+    for needle in ["Table 4", "Table 5", "Table 6", "Table 7"] {
+        assert!(plain.contains(needle), "missing {needle} in output");
+    }
+    assert!(
+        plain == checked,
+        "--check perturbed rendered output:\n--- plain ---\n{plain}\n--- checked ---\n{checked}"
+    );
+}
