@@ -394,6 +394,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::single_range_in_vec_init)] // a one-chunk partition IS a single range
     fn partition_checker_flags_gap_overlap_and_shortfall() {
         assert!(verify_partition(&[0..3, 4..6], 6).unwrap().contains("gap"));
         assert!(verify_partition(&[0..3, 2..6], 6)

@@ -4,7 +4,7 @@
 //! files, in the same spirit as the vendored dependency shims: strip
 //! comments and string literals, then look for the textual shapes of the
 //! hazards that can silently break the suite's bit-identical-output
-//! guarantee. Six rule classes:
+//! guarantee. Seven rule classes:
 //!
 //! | id               | hazard                                              |
 //! |------------------|-----------------------------------------------------|
@@ -14,6 +14,13 @@
 //! | `env-read`       | `std::env::var` outside `config`/`cli` modules      |
 //! | `unsafe-no-safety` | `unsafe` without a nearby `// SAFETY:` comment    |
 //! | `unwrap-in-sim`  | `unwrap()`/`expect()` in sim-crate non-test code    |
+//! | `hot-path-alloc` | per-call allocation in a `doebench::hot` function   |
+//!
+//! A function becomes hot by carrying a `doebench::hot` marker on the line
+//! before (or on) its `fn`, or by a `hot-fn path fn-name` line in
+//! `dessan.toml`. Inside a hot body, `Box::new`, `vec!`, `format!`,
+//! `.to_string()`, `.to_owned()` and `.clone()` are flagged
+//! (`.clone_from(...)` reuses its destination buffer and is fine).
 //!
 //! Existing justified sites are grandfathered through `dessan.toml` — one
 //! `rule path` pair per line — so the gate can only ratchet tighter.
@@ -41,6 +48,8 @@ pub enum Rule {
     UnsafeNoSafety,
     /// `unwrap()`/`expect()` in sim-crate non-test code.
     UnwrapInSim,
+    /// Per-call heap allocation inside a `doebench::hot` function.
+    HotPathAlloc,
 }
 
 impl Rule {
@@ -53,17 +62,19 @@ impl Rule {
             Rule::EnvRead => "env-read",
             Rule::UnsafeNoSafety => "unsafe-no-safety",
             Rule::UnwrapInSim => "unwrap-in-sim",
+            Rule::HotPathAlloc => "hot-path-alloc",
         }
     }
 
     /// Every rule, in report order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::WallClock,
         Rule::AdHocRng,
         Rule::HashOrder,
         Rule::EnvRead,
         Rule::UnsafeNoSafety,
         Rule::UnwrapInSim,
+        Rule::HotPathAlloc,
     ];
 }
 
@@ -292,6 +303,91 @@ fn test_region_lines(code: &str) -> Vec<bool> {
     flags
 }
 
+/// Allocation tokens the `hot-path-alloc` rule rejects in hot bodies.
+/// `.clone()` is matched literally with its empty argument list, so the
+/// buffer-reusing `.clone_from(...)` never trips it.
+const HOT_ALLOC_TOKENS: [&str; 6] = [
+    "Box::new",
+    "vec!",
+    "format!",
+    ".to_string()",
+    ".to_owned()",
+    ".clone()",
+];
+
+/// Per-line flags marking the bodies of hot functions, computed by brace
+/// counting over the comment-stripped text.
+///
+/// A function is hot when the line of its `fn` keyword, or the line just
+/// before it, mentions `doebench::hot` in the *original* source (the
+/// marker normally lives in a comment, which stripping blanks), or when
+/// its name appears in `extra_hot` (the file's `hot-fn` designations from
+/// `dessan.toml`).
+fn hot_region_lines(original: &[&str], code: &str, extra_hot: &[String]) -> Vec<bool> {
+    let mut flags = Vec::new();
+    let mut depth: i64 = 0;
+    // Saw a marker; arms the next `fn` line.
+    let mut armed = false;
+    // Inside a hot fn's signature, waiting for its opening brace.
+    let mut in_sig = false;
+    // Brace depth of the hot body currently open, if any.
+    let mut region_start: Option<i64> = None;
+    for (idx, line) in code.lines().enumerate() {
+        if region_start.is_none() && !in_sig {
+            // Only the comment and attribute spellings arm the rule, so
+            // prose *about* the marker (e.g. lint messages) does not.
+            if original
+                .get(idx)
+                .is_some_and(|l| l.contains("// doebench::hot") || l.contains("#[doebench::hot]"))
+            {
+                armed = true;
+            }
+            if contains_word(line, "fn") {
+                let named = extra_hot.iter().any(|f| {
+                    line.split("fn ").skip(1).any(|rest| {
+                        let rest = rest.trim_start();
+                        rest.starts_with(f.as_str())
+                            && !rest[f.len()..]
+                                .chars()
+                                .next()
+                                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                    })
+                });
+                if armed || named {
+                    in_sig = true;
+                }
+                armed = false;
+            }
+        }
+        // Latch: a one-line hot fn opens and closes its body within this
+        // line; it must still be flagged hot.
+        let mut hot_this_line = region_start.is_some() || in_sig;
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if in_sig {
+                        region_start = Some(depth);
+                        in_sig = false;
+                        hot_this_line = true;
+                    }
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some(s) = region_start {
+                        if depth < s {
+                            region_start = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        flags.push(hot_this_line || region_start.is_some() || in_sig);
+    }
+    flags
+}
+
 /// True when `needle` occurs in `hay` bounded by non-identifier characters.
 fn contains_word(hay: &str, needle: &str) -> bool {
     let mut from = 0;
@@ -341,6 +437,12 @@ fn is_output_path(path: &str) -> bool {
 /// Lint one file's source text. `path` must be workspace-relative
 /// (`crates/<crate>/src/...`) so crate- and module-scoped rules resolve.
 pub fn lint_file(path: &str, src: &str) -> Vec<LintFinding> {
+    lint_file_with_hot(path, src, &[])
+}
+
+/// [`lint_file`] with extra hot-function designations for this file
+/// (the `hot-fn` lines of `dessan.toml`, marker comments aside).
+pub fn lint_file_with_hot(path: &str, src: &str, extra_hot: &[String]) -> Vec<LintFinding> {
     let code = strip_comments_and_strings(src);
     let test_lines = test_region_lines(&code);
     let krate = crate_of(path).unwrap_or("");
@@ -349,6 +451,7 @@ pub fn lint_file(path: &str, src: &str) -> Vec<LintFinding> {
     let env_exempt = krate == "cli" || matches!(stem, "config" | "env" | "cli");
     let output_path = is_output_path(path);
     let original_lines: Vec<&str> = src.lines().collect();
+    let hot_lines = hot_region_lines(&original_lines, &code, extra_hot);
 
     let mut findings = Vec::new();
     let mut push = |rule, line, message: String| {
@@ -445,15 +548,35 @@ pub fn lint_file(path: &str, src: &str) -> Vec<LintFinding> {
                 }
             }
         }
+
+        // hot-path-alloc: the steady-state event/message path must not
+        // touch the allocator — that's what the arenas/pools are for.
+        if !in_test && hot_lines.get(idx).copied().unwrap_or(false) {
+            for pat in HOT_ALLOC_TOKENS {
+                if cl.contains(pat) {
+                    push(
+                        Rule::HotPathAlloc,
+                        lineno,
+                        format!("`{pat}` allocates per call inside a `doebench::hot` function; hoist it into an arena/pool/scratch buffer or a `#[cold]` helper"),
+                    );
+                    break;
+                }
+            }
+        }
     }
     findings
 }
 
 /// The grandfather allowlist: `rule path` pairs, one per line, `#` comments.
+/// `hot-fn path fn-name` lines are not grandfathers — they *designate*
+/// additional hot functions for the `hot-path-alloc` rule, equivalent to a
+/// `doebench::hot` marker at the function's definition.
 #[derive(Debug, Default)]
 pub struct Allowlist {
     entries: Vec<(String, String)>,
     used: Vec<bool>,
+    /// `(path, fn-name)` hot-function designations.
+    hot_fns: Vec<(String, String)>,
 }
 
 impl Allowlist {
@@ -461,6 +584,7 @@ impl Allowlist {
     /// cannot silently allow everything.
     pub fn parse(text: &str) -> Result<Self, String> {
         let mut entries = Vec::new();
+        let mut hot_fns = Vec::new();
         for (i, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() || line.starts_with('[') {
@@ -473,6 +597,16 @@ impl Allowlist {
                     i + 1
                 ));
             };
+            if rule == "hot-fn" {
+                let Some(name) = parts.next() else {
+                    return Err(format!(
+                        "dessan.toml line {}: expected `hot-fn path fn-name`, got `{raw}`",
+                        i + 1
+                    ));
+                };
+                hot_fns.push((path.to_string(), name.to_string()));
+                continue;
+            }
             if !Rule::ALL.iter().any(|r| r.id() == rule) {
                 return Err(format!(
                     "dessan.toml line {}: unknown rule `{rule}` (known: {})",
@@ -483,7 +617,20 @@ impl Allowlist {
             entries.push((rule.to_string(), path.to_string()));
         }
         let used = vec![false; entries.len()];
-        Ok(Allowlist { entries, used })
+        Ok(Allowlist {
+            entries,
+            used,
+            hot_fns,
+        })
+    }
+
+    /// The `hot-fn` designations naming functions in `path`.
+    pub fn hot_fns_for(&self, path: &str) -> Vec<String> {
+        self.hot_fns
+            .iter()
+            .filter(|(p, _)| p == path)
+            .map(|(_, f)| f.clone())
+            .collect()
     }
 
     /// Is `finding` grandfathered? Marks the matching entry as used.
@@ -583,7 +730,8 @@ pub fn run(root: &Path) -> std::io::Result<LintReport> {
                 .replace('\\', "/");
             let text = std::fs::read_to_string(&f)?;
             report.files += 1;
-            for finding in lint_file(&rel, &text) {
+            let hot = allow.hot_fns_for(&rel);
+            for finding in lint_file_with_hot(&rel, &text, &hot) {
                 if allow.permits(&finding) {
                     report.allowed += 1;
                 } else {
@@ -707,6 +855,60 @@ mod tests {
     fn unwrap_or_else_is_not_unwrap() {
         let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 0) }\n";
         assert_eq!(rules_of("crates/mpisim/src/world.rs", src), vec![]);
+    }
+
+    #[test]
+    fn hot_marker_flags_allocations_in_the_next_fn_only() {
+        let src = "\
+// doebench::hot
+fn fast(&mut self) {
+    let x = data.clone();
+    self.buf.clone_from(&data);
+}
+fn slow(&mut self) {
+    let y = Box::new(1);
+    let s = format!(\"x\");
+}
+";
+        let f = lint_file("crates/simtime/src/event.rs", src);
+        let hot: Vec<_> = f
+            .iter()
+            .filter(|f| f.rule == Rule::HotPathAlloc)
+            .map(|f| f.line)
+            .collect();
+        // `.clone()` in the hot fn fires; `.clone_from` does not; the
+        // unmarked fn is free to allocate.
+        assert_eq!(hot, vec![3]);
+    }
+
+    #[test]
+    fn hot_fn_designation_from_allowlist_flags_named_fn() {
+        let src = "fn pump(&mut self) { let v = vec![0u8; 8]; }\nfn other() { let v = vec![1]; }\n";
+        let f = lint_file_with_hot("crates/foo/src/lib.rs", src, &["pump".to_string()]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::HotPathAlloc);
+        assert_eq!(f[0].line, 1);
+        // A prefix of the name must not match.
+        let f = lint_file_with_hot("crates/foo/src/lib.rs", src, &["pum".to_string()]);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn hot_marker_in_test_region_is_ignored() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    // doebench::hot\n    fn t() { let x = vec![1]; }\n}\n";
+        assert_eq!(rules_of("crates/foo/src/lib.rs", src), vec![]);
+    }
+
+    #[test]
+    fn allowlist_parses_hot_fn_lines() {
+        let allow =
+            Allowlist::parse("hot-fn crates/foo/src/lib.rs pump\nwall-clock crates/bar/src/x.rs\n")
+                .unwrap();
+        assert_eq!(allow.hot_fns_for("crates/foo/src/lib.rs"), vec!["pump"]);
+        assert!(allow.hot_fns_for("crates/bar/src/x.rs").is_empty());
+        // hot-fn demands a function name.
+        assert!(Allowlist::parse("hot-fn crates/foo/src/lib.rs").is_err());
     }
 
     #[test]

@@ -11,9 +11,23 @@
 
 /// A grow-on-demand vector clock. Missing components read as zero, so
 /// clocks over different task sets compare sensibly.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct VectorClock {
     v: Vec<u64>,
+}
+
+impl Clone for VectorClock {
+    fn clone(&self) -> Self {
+        VectorClock { v: self.v.clone() }
+    }
+
+    /// Reuses `self`'s existing buffer — the hot paths snapshot clocks into
+    /// pooled storage via `clone_from`, so steady state copies components
+    /// without touching the allocator.
+    fn clone_from(&mut self, source: &Self) {
+        self.v.clear();
+        self.v.extend_from_slice(&source.v);
+    }
 }
 
 impl VectorClock {
@@ -39,12 +53,26 @@ impl VectorClock {
     /// the synchronization edge — the receiver of a message (or the waiter
     /// on an event) joins the sender's clock.
     pub fn join(&mut self, other: &VectorClock) {
+        self.join_assign(other);
+    }
+
+    /// In-place pointwise maximum. Never shrinks and never reallocates
+    /// unless `other` has more components than `self` has capacity for, so
+    /// a clock joined repeatedly over a fixed task set is allocation-free
+    /// after the first join. Replaces the `*self = other.clone()` idiom:
+    /// when `self ≤ other` the join *is* the assignment.
+    pub fn join_assign(&mut self, other: &VectorClock) {
         if self.v.len() < other.v.len() {
             self.v.resize(other.v.len(), 0);
         }
         for (a, &b) in self.v.iter_mut().zip(&other.v) {
             *a = (*a).max(b);
         }
+    }
+
+    /// Reset to the zero clock, keeping the allocation (pool reuse).
+    pub fn reset(&mut self) {
+        self.v.clear();
     }
 
     /// Pointwise `<=` (treating missing components as zero).
@@ -127,6 +155,34 @@ mod tests {
             }
             c
         })
+    }
+
+    #[test]
+    fn join_assign_equals_clone_assign_when_dominated() {
+        // The satellite rewrite: when self ≤ lub, joining lub in place must
+        // produce exactly `lub.clone()`.
+        let mut lub = VectorClock::new();
+        lub.tick(0);
+        lub.tick(2);
+        lub.tick(2);
+        let mut vc = VectorClock::new();
+        vc.tick(2);
+        assert!(vc.leq(&lub));
+        vc.join_assign(&lub);
+        assert_eq!(vc, lub);
+    }
+
+    #[test]
+    fn clone_from_reuses_buffer_and_copies_value() {
+        let mut src = VectorClock::new();
+        src.tick(1);
+        src.tick(3);
+        let mut dst = VectorClock::new();
+        dst.tick(5); // longer than src: clone_from must truncate
+        dst.clone_from(&src);
+        assert_eq!(dst, src);
+        dst.reset();
+        assert_eq!(dst, VectorClock::new());
     }
 
     proptest! {

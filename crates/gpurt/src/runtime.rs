@@ -1,13 +1,13 @@
 //! The simulated device runtime.
 
-use std::collections::{BTreeMap, HashMap};
+use std::cell::RefCell;
 use std::sync::Arc;
 
 use dessan::{AccessHistory, AccessKind, RuntimeChecks, VectorClock};
 use doe_gpusim::{Engine, GpuModel};
 use doe_memmodel::{PlacementQuality, StreamOp};
 use doe_simtime::{Clock, SimDuration, SimRng, SimTime, Trace};
-use doe_topo::{DeviceId, NodeTopology, Vertex};
+use doe_topo::{DeviceId, NodeTopology, RouteCostCache, Vertex};
 
 use crate::buffer::{Buffer, MemLoc};
 use crate::error::GpuError;
@@ -61,36 +61,51 @@ const HOST_CLOCK: usize = 0;
 struct GpuChecks {
     handle: RuntimeChecks,
     host: VectorClock,
-    /// Per `(device index, stream index)`: clock-component index + clock.
-    streams: BTreeMap<(usize, usize), (usize, VectorClock)>,
+    /// Per device, per stream index: clock-component index + clock. Dense
+    /// in both dimensions (stream indices are small and sequential), so
+    /// the per-submission lookup is two array indexings instead of a tree
+    /// walk.
+    streams: Vec<Vec<Option<(usize, VectorClock)>>>,
     next_clock_idx: usize,
-    next_event_id: u64,
-    /// Stream-clock snapshot at each recorded event.
-    events: BTreeMap<u64, VectorClock>,
-    /// Access history per buffer allocation id.
-    buffers: BTreeMap<u64, AccessHistory>,
+    /// Stream-clock snapshots of recorded events; event id `n` lives at
+    /// index `n - 1` (ids are handed out sequentially from 1; 0 means
+    /// untracked).
+    events: Vec<VectorClock>,
+    /// Access history per buffer allocation id. Ids are process-global and
+    /// sparse, but a runtime touches only a handful of buffers: linear
+    /// scan beats hashing.
+    buffers: Vec<(u64, AccessHistory)>,
 }
 
 impl GpuChecks {
-    fn new() -> Self {
+    fn new(ndevices: usize) -> Self {
         let mut host = VectorClock::new();
         host.tick(HOST_CLOCK);
         GpuChecks {
             handle: RuntimeChecks::enabled(),
             host,
-            streams: BTreeMap::new(),
+            streams: vec![Vec::new(); ndevices],
             next_clock_idx: HOST_CLOCK + 1,
-            next_event_id: 1,
-            events: BTreeMap::new(),
-            buffers: BTreeMap::new(),
+            events: Vec::new(),
+            buffers: Vec::new(),
         }
     }
 
-    fn stream_mut(&mut self, key: (usize, usize)) -> &mut (usize, VectorClock) {
-        let next = &mut self.next_clock_idx;
-        self.streams.entry(key).or_insert_with(|| {
-            let idx = *next;
-            *next += 1;
+    /// The clock slot for a stream, created (with a fresh component index)
+    /// on first touch. An associated fn over the two fields it needs, so
+    /// call sites can keep disjoint borrows of `host`/`events` alive.
+    fn stream_slot<'a>(
+        streams: &'a mut [Vec<Option<(usize, VectorClock)>>],
+        next_clock_idx: &mut usize,
+        key: (usize, usize),
+    ) -> &'a mut (usize, VectorClock) {
+        let lanes = &mut streams[key.0];
+        if lanes.len() <= key.1 {
+            lanes.resize(key.1 + 1, None);
+        }
+        lanes[key.1].get_or_insert_with(|| {
+            let idx = *next_clock_idx;
+            *next_clock_idx += 1;
             let mut vc = VectorClock::new();
             vc.tick(idx);
             (idx, vc)
@@ -101,60 +116,61 @@ impl GpuChecks {
     /// stream happens-after everything the host did before enqueueing it.
     fn submit(&mut self, key: (usize, usize)) {
         self.host.tick(HOST_CLOCK);
-        let host = self.host.clone();
-        let (idx, vc) = self.stream_mut(key);
+        let (idx, vc) = Self::stream_slot(&mut self.streams, &mut self.next_clock_idx, key);
         let idx = *idx;
-        vc.join(&host);
+        vc.join_assign(&self.host);
         vc.tick(idx);
     }
 
     /// Snapshot the stream clock at an event record.
     fn record_event(&mut self, key: (usize, usize)) -> u64 {
         self.submit(key);
-        let snap = self.stream_mut(key).1.clone();
-        let id = self.next_event_id;
-        self.next_event_id += 1;
-        self.events.insert(id, snap);
-        id
+        let snap = Self::stream_slot(&mut self.streams, &mut self.next_clock_idx, key)
+            .1
+            .clone();
+        self.events.push(snap);
+        self.events.len() as u64
     }
 
     /// Event→stream edge (`cudaStreamWaitEvent`).
     fn wait_event(&mut self, key: (usize, usize), event_id: u64) {
         self.submit(key);
-        if let Some(ev) = self.events.get(&event_id).cloned() {
-            let (idx, vc) = self.stream_mut(key);
+        if let Some(ev) = event_id
+            .checked_sub(1)
+            .and_then(|i| self.events.get(i as usize))
+        {
+            let (idx, vc) = Self::stream_slot(&mut self.streams, &mut self.next_clock_idx, key);
             let idx = *idx;
-            vc.join(&ev);
+            vc.join_assign(ev);
             vc.tick(idx);
         }
     }
 
     /// Stream→host edge (`cudaStreamSynchronize`).
     fn host_join_stream(&mut self, key: (usize, usize)) {
-        let vc = self.stream_mut(key).1.clone();
-        self.host.join(&vc);
+        let (_, vc) = Self::stream_slot(&mut self.streams, &mut self.next_clock_idx, key);
+        self.host.join_assign(vc);
         self.host.tick(HOST_CLOCK);
     }
 
     /// Event→host edge (`cudaEventSynchronize`).
     fn host_join_event(&mut self, event_id: u64) {
-        if let Some(ev) = self.events.get(&event_id).cloned() {
-            self.host.join(&ev);
+        if let Some(ev) = event_id
+            .checked_sub(1)
+            .and_then(|i| self.events.get(i as usize))
+        {
+            self.host.join_assign(ev);
             self.host.tick(HOST_CLOCK);
         }
     }
 
     /// All-streams→host edge for one device (`cudaDeviceSynchronize`).
+    /// Visits streams in index order (same order the old sorted map gave).
     fn host_join_device(&mut self, dev_idx: usize) {
-        let keys: Vec<_> = self
-            .streams
-            .keys()
-            .filter(|k| k.0 == dev_idx)
-            .copied()
-            .collect();
-        for key in keys {
-            let vc = self.stream_mut(key).1.clone();
-            self.host.join(&vc);
+        if let Some(lanes) = self.streams.get(dev_idx) {
+            for slot in lanes.iter().flatten() {
+                self.host.join_assign(&slot.1);
+            }
         }
         self.host.tick(HOST_CLOCK);
     }
@@ -162,11 +178,18 @@ impl GpuChecks {
     /// Log one buffer access by the stream at its current clock and report
     /// any conflicting access not ordered before it.
     fn access(&mut self, buf: &Buffer, kind: AccessKind, key: (usize, usize), what: &str) {
-        let (idx, vc) = self.stream_mut(key);
-        let (idx, now) = (*idx, vc.clone());
+        let (idx, vc) = Self::stream_slot(&mut self.streams, &mut self.next_clock_idx, key);
+        let (idx, now) = (*idx, &*vc);
         let label = format!("{what} on stream {}/{}", key.0, key.1);
-        let hist = self.buffers.entry(buf.id()).or_default();
-        for race in hist.record(kind, idx, &now, &label) {
+        let hist = match self.buffers.iter().position(|(id, _)| *id == buf.id()) {
+            Some(pos) => &mut self.buffers[pos].1,
+            None => {
+                self.buffers.push((buf.id(), AccessHistory::default()));
+                let last = self.buffers.len() - 1;
+                &mut self.buffers[last].1
+            }
+        };
+        for race in hist.record(kind, idx, now, &label) {
             self.handle.report(
                 "race",
                 format!(
@@ -204,8 +227,17 @@ pub struct GpuRuntime {
     /// serialize per direction (full-duplex links carry both directions
     /// concurrently), so concurrent same-direction copies queue while
     /// opposite directions overlap — the duplex behaviour Comm|Scope's
-    /// `Duplex` tests exercise.
-    wires: HashMap<(Vertex, Vertex), Engine>,
+    /// `Duplex` tests exercise. Dense by directed vertex-pair index
+    /// (`entry * nvertices + exit`), sized once at construction.
+    wires: Vec<Option<Engine>>,
+    /// Vertex-numbering dimensions `(numa, device, total)` backing the
+    /// wire-table indexing: numa domains first, then devices, then
+    /// switches, each dense by id index.
+    wire_dims: (usize, usize, usize),
+    /// Memoized Dijkstra results for [`Self::copy_parts`], which resolves
+    /// the same few vertex pairs on every copy of a campaign. Interior
+    /// mutability keeps [`Self::copy_duration`] a `&self` query.
+    routes: RefCell<RouteCostCache>,
     current: DeviceId,
     /// Optional operation trace (spans on per-stream / per-wire tracks).
     trace: Option<Trace>,
@@ -234,16 +266,38 @@ impl GpuRuntime {
         let current = topo.devices[0].id;
         let mut rng = SimRng::stream(seed, &format!("gpurt/{}", topo.name), 0);
         let run_factor = models[0].jitter.sample_scalar(1.0, &mut rng).max(0.05);
+        let n_numa = topo
+            .numa_domains
+            .iter()
+            .map(|n| n.id.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let n_dev = topo
+            .devices
+            .iter()
+            .map(|d| d.id.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let n_switch = topo
+            .switches
+            .iter()
+            .map(|s| s.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let nv = n_numa + n_dev + n_switch;
+        let ndevices = topo.devices.len();
         GpuRuntime {
             topo,
             models,
             clock: Clock::new(),
             run_factor,
             streams,
-            wires: HashMap::new(),
+            wires: std::iter::repeat_with(|| None).take(nv * nv).collect(),
+            wire_dims: (n_numa, n_dev, nv),
+            routes: RefCell::new(RouteCostCache::new()),
             current,
             trace: None,
-            checks: dessan::checks_enabled().then(|| Box::new(GpuChecks::new())),
+            checks: dessan::checks_enabled().then(|| Box::new(GpuChecks::new(ndevices))),
         }
     }
 
@@ -251,16 +305,36 @@ impl GpuRuntime {
     /// `--check` switch (test fixtures).
     pub fn enable_checks(&mut self) {
         if self.checks.is_none() {
-            self.checks = Some(Box::new(GpuChecks::new()));
+            self.checks = Some(Box::new(GpuChecks::new(self.topo.devices.len())));
         }
     }
 
     /// Findings the sanitizer has recorded against this runtime so far.
+    /// Allocation-free when there is nothing to report (the common case).
     pub fn check_findings(&self) -> Vec<String> {
-        self.checks
-            .as_ref()
-            .map(|c| c.handle.findings().iter().map(|f| f.to_string()).collect())
-            .unwrap_or_default()
+        match &self.checks {
+            Some(c) if !c.handle.findings().is_empty() => {
+                c.handle.findings().iter().map(|f| f.to_string()).collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Dense index of a vertex in the wire table's numbering.
+    fn vertex_index(&self, v: Vertex) -> usize {
+        let (n_numa, n_dev, _) = self.wire_dims;
+        match v {
+            Vertex::Numa(n) => n.index(),
+            Vertex::Device(d) => n_numa + d.index(),
+            Vertex::Switch(s) => n_numa + n_dev + s.index(),
+        }
+    }
+
+    /// The occupancy engine of a directed wire, created on first use.
+    fn wire_engine(&mut self, key: (Vertex, Vertex)) -> &mut Engine {
+        let nv = self.wire_dims.2;
+        let idx = self.vertex_index(key.0) * nv + self.vertex_index(key.1);
+        self.wires[idx].get_or_insert_with(Engine::new)
     }
 
     /// Declare the buffers a just-launched kernel reads and writes, so the
@@ -311,6 +385,68 @@ impl GpuRuntime {
 
     fn stream_track(s: &StreamHandle) -> String {
         format!("{}/stream{}", s.device, s.idx)
+    }
+
+    /// Cold path: render a kernel span. Call sites gate on
+    /// `self.trace.is_some()` so the untraced hot loop never builds the
+    /// track strings.
+    #[cold]
+    fn trace_kernel(
+        &mut self,
+        name: &'static str,
+        s: &StreamHandle,
+        start: SimTime,
+        duration: SimDuration,
+    ) {
+        self.trace_span(name, "gpu", Self::stream_track(s), start, duration);
+    }
+
+    /// Cold path: render the spans of one copy (the optional wire span and
+    /// the stream-side span).
+    #[cold]
+    fn trace_copy(
+        &mut self,
+        bytes: u64,
+        s: &StreamHandle,
+        wire: Option<((Vertex, Vertex), SimTime, SimDuration)>,
+        start: SimTime,
+        completion: SimTime,
+    ) {
+        if let Some((key, wire_start, ser)) = wire {
+            self.trace_span(
+                format!("memcpy {bytes}B"),
+                "wire",
+                format!("{} -> {}", key.0, key.1),
+                wire_start,
+                ser,
+            );
+        }
+        self.trace_span(
+            format!("copy {bytes}B"),
+            "gpu",
+            Self::stream_track(s),
+            start,
+            completion.saturating_since(start),
+        );
+    }
+
+    /// Cold path: render a host-side synchronize span.
+    #[cold]
+    fn trace_host_sync(&mut self, wait_from: SimTime, now: SimTime) {
+        self.trace_span(
+            "stream sync",
+            "host",
+            "host".to_string(),
+            wait_from,
+            now.saturating_since(wait_from),
+        );
+    }
+
+    /// Cold path: a missing-route error (validated topologies always
+    /// route, so this never runs in a campaign).
+    #[cold]
+    fn no_route_err(a: impl std::fmt::Display, b: impl std::fmt::Display) -> GpuError {
+        GpuError::NoRoute(format!("{a} -> {b}"))
     }
 
     /// The node topology the runtime executes on.
@@ -395,7 +531,9 @@ impl GpuRuntime {
         let now = self.clock.advance(launch);
         let body = self.jittered(s.device, body);
         let (start, _end) = self.engine(s)?.enqueue(now, body);
-        self.trace_span("empty kernel", "gpu", Self::stream_track(s), start, body);
+        if self.trace.is_some() {
+            self.trace_kernel("empty kernel", s, start, body);
+        }
         if let Some(ch) = &mut self.checks {
             ch.submit((s.device.index(), s.idx));
         }
@@ -413,7 +551,9 @@ impl GpuRuntime {
         let now = self.clock.advance(launch);
         let body = self.jittered(s.device, device_time);
         let (start, _end) = self.engine(s)?.enqueue(now, body);
-        self.trace_span("kernel", "gpu", Self::stream_track(s), start, body);
+        if self.trace.is_some() {
+            self.trace_kernel("kernel", s, start, body);
+        }
         if let Some(ch) = &mut self.checks {
             ch.submit((s.device.index(), s.idx));
         }
@@ -438,6 +578,7 @@ impl GpuRuntime {
     /// transfers; its *serialization* occupies the bottleneck link in the
     /// traversal direction, so concurrent same-direction copies queue on
     /// the wire while opposite directions run duplex.
+    // doebench::hot
     pub fn memcpy_async(
         &mut self,
         dst: &Buffer,
@@ -459,30 +600,20 @@ impl GpuRuntime {
         let overheads = self.jittered(s.device, parts.setup_and_latency);
         let ser = self.jittered(s.device, parts.serialization);
         let start = now.max(self.engine(s)?.busy_until());
+        let mut wire_span = None;
         let completion = match parts.wire {
             Some(key) => {
                 let at_wire = start + overheads;
-                let (wire_start, wire_end) =
-                    self.wires.entry(key).or_default().enqueue(at_wire, ser);
-                self.trace_span(
-                    format!("memcpy {bytes}B"),
-                    "wire",
-                    format!("{} -> {}", key.0, key.1),
-                    wire_start,
-                    ser,
-                );
+                let (wire_start, wire_end) = self.wire_engine(key).enqueue(at_wire, ser);
+                wire_span = Some((key, wire_start, ser));
                 wire_end
             }
             None => start + overheads + ser,
         };
         self.engine(s)?.occupy_until(completion);
-        self.trace_span(
-            format!("copy {bytes}B"),
-            "gpu",
-            Self::stream_track(s),
-            start,
-            completion.saturating_since(start),
-        );
+        if self.trace.is_some() {
+            self.trace_copy(bytes, s, wire_span, start, completion);
+        }
         if let Some(ch) = &mut self.checks {
             let key = (s.device.index(), s.idx);
             ch.submit(key);
@@ -508,6 +639,7 @@ impl GpuRuntime {
     /// Decompose a copy into its overlap-friendly part (DMA setup + hop
     /// latencies) and the wire-occupying serialization, plus the directed
     /// bottleneck link it serializes on.
+    // doebench::hot
     fn copy_parts(
         &self,
         dst: MemLoc,
@@ -529,13 +661,14 @@ impl GpuRuntime {
             }
             (MemLoc::Device(a), MemLoc::Device(b)) => {
                 let route = self
-                    .topo
-                    .route(Vertex::Device(a), Vertex::Device(b))
-                    .ok_or_else(|| GpuError::NoRoute(format!("{a} -> {b}")))?;
+                    .routes
+                    .borrow_mut()
+                    .costs(&self.topo, Vertex::Device(a), Vertex::Device(b))
+                    .ok_or_else(|| Self::no_route_err(a, b))?;
                 Ok(CopyParts {
-                    setup_and_latency: m.copy_setup_peer + route.total_latency(),
-                    serialization: SimDuration::transfer(bytes, route.bottleneck_bandwidth()),
-                    wire: route.bottleneck_oriented(),
+                    setup_and_latency: m.copy_setup_peer + route.latency,
+                    serialization: SimDuration::transfer(bytes, route.bandwidth_gb_s),
+                    wire: route.bottleneck,
                 })
             }
             (MemLoc::Host { numa, pinned }, MemLoc::Device(d))
@@ -546,11 +679,12 @@ impl GpuRuntime {
                     (Vertex::Device(d), Vertex::Numa(numa))
                 };
                 let route = self
-                    .topo
-                    .route(from, to)
-                    .ok_or_else(|| GpuError::NoRoute(format!("{numa} -> {d}")))?;
-                let mut setup = m.copy_setup_host + route.total_latency();
-                let mut bw = route.bottleneck_bandwidth();
+                    .routes
+                    .borrow_mut()
+                    .costs(&self.topo, from, to)
+                    .ok_or_else(|| Self::no_route_err(numa, d))?;
+                let mut setup = m.copy_setup_host + route.latency;
+                let mut bw = route.bandwidth_gb_s;
                 if !pinned {
                     bw *= UNPINNED_BW_FACTOR;
                     setup += SimDuration::from_us(UNPINNED_EXTRA_SETUP_US);
@@ -558,7 +692,7 @@ impl GpuRuntime {
                 Ok(CopyParts {
                     setup_and_latency: setup,
                     serialization: SimDuration::transfer(bytes, bw),
-                    wire: route.bottleneck_oriented(),
+                    wire: route.bottleneck,
                 })
             }
         }
@@ -566,6 +700,7 @@ impl GpuRuntime {
 
     /// Block the host until stream `s` drains, then pay the synchronize
     /// handshake (cf. `cudaStreamSynchronize`).
+    // doebench::hot
     pub fn stream_synchronize(&mut self, s: &StreamHandle) -> Result<(), GpuError> {
         let m = self.model(s.device)?;
         let sync = self.jittered(s.device, m.stream_sync_overhead);
@@ -574,13 +709,9 @@ impl GpuRuntime {
         self.clock.advance_to(tail);
         let now = self.clock.advance(sync);
         self.engine(s)?.retire_until(now);
-        self.trace_span(
-            "stream sync",
-            "host",
-            "host".to_string(),
-            wait_from,
-            now.saturating_since(wait_from),
-        );
+        if self.trace.is_some() {
+            self.trace_host_sync(wait_from, now);
+        }
         if let Some(ch) = &mut self.checks {
             ch.host_join_stream((s.device.index(), s.idx));
         }

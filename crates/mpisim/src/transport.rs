@@ -2,7 +2,7 @@
 //! latency/bandwidth pair a message experiences.
 
 use doe_simtime::SimDuration;
-use doe_topo::{DeviceId, NodeTopology, NumaId, Vertex};
+use doe_topo::{DeviceId, NodeTopology, NumaId, RouteCostCache, Vertex};
 
 use crate::config::{DevicePath, MpiConfig};
 
@@ -50,23 +50,49 @@ pub fn resolve_path(
     to_numa: NumaId,
     to_buf: BufferLoc,
 ) -> Option<PathCosts> {
-    let host_path = |a: NumaId, b: NumaId| -> Option<PathCosts> {
+    let mut routes = RouteCostCache::new();
+    resolve_path_cached(topo, &mut routes, cfg, from_numa, from_buf, to_numa, to_buf)
+}
+
+/// [`resolve_path`] with a caller-owned route-cost memo.
+///
+/// Path resolution runs Dijkstra up to three times per call; the simulator
+/// resolves the *same* endpoint pairs on every send of a 100-repetition
+/// campaign, so worlds thread their own [`RouteCostCache`] through here.
+/// Results are identical to the uncached form — the memo stores exactly
+/// the latency/bandwidth summaries the cost model reads.
+pub fn resolve_path_cached(
+    topo: &NodeTopology,
+    routes: &mut RouteCostCache,
+    cfg: &MpiConfig,
+    from_numa: NumaId,
+    from_buf: BufferLoc,
+    to_numa: NumaId,
+    to_buf: BufferLoc,
+) -> Option<PathCosts> {
+    fn host_path(
+        topo: &NodeTopology,
+        routes: &mut RouteCostCache,
+        cfg: &MpiConfig,
+        a: NumaId,
+        b: NumaId,
+    ) -> Option<PathCosts> {
         if a == b {
             Some(PathCosts {
                 latency: cfg.shm_latency,
                 bandwidth: cfg.shm_bandwidth,
             })
         } else {
-            let route = topo.route(Vertex::Numa(a), Vertex::Numa(b))?;
+            let route = routes.costs(topo, Vertex::Numa(a), Vertex::Numa(b))?;
             Some(PathCosts {
-                latency: cfg.shm_latency + route.total_latency(),
-                bandwidth: cfg.shm_bandwidth.min(route.bottleneck_bandwidth()),
+                latency: cfg.shm_latency + route.latency,
+                bandwidth: cfg.shm_bandwidth.min(route.bandwidth_gb_s),
             })
         }
-    };
+    }
 
     match (from_buf, to_buf) {
-        (BufferLoc::Host, BufferLoc::Host) => host_path(from_numa, to_numa),
+        (BufferLoc::Host, BufferLoc::Host) => host_path(topo, routes, cfg, from_numa, to_numa),
         (BufferLoc::Device(da), BufferLoc::Device(db)) => match cfg.device_path {
             DevicePath::Rma { extra_overhead } => {
                 if da == db {
@@ -76,7 +102,7 @@ pub fn resolve_path(
                         bandwidth: cfg.shm_bandwidth.max(100.0),
                     });
                 }
-                let route = topo.route(Vertex::Device(da), Vertex::Device(db))?;
+                let route = routes.costs(topo, Vertex::Device(da), Vertex::Device(db))?;
                 // Small-message RMA latency is dominated by the doorbell /
                 // IPC software path, not the fabric: the paper measures
                 // identical device MPI latency across all four Infinity
@@ -84,24 +110,21 @@ pub fn resolve_path(
                 // bandwidth.
                 Some(PathCosts {
                     latency: extra_overhead,
-                    bandwidth: route.bottleneck_bandwidth(),
+                    bandwidth: route.bandwidth_gb_s,
                 })
             }
             DevicePath::Staged {
                 per_stage_overhead,
                 pipeline_efficiency,
             } => {
-                let d2h = topo.route(Vertex::Device(da), Vertex::Numa(from_numa))?;
-                let host = host_path(from_numa, to_numa)?;
-                let h2d = topo.route(Vertex::Numa(to_numa), Vertex::Device(db))?;
-                let latency = per_stage_overhead * 3
-                    + d2h.total_latency()
-                    + host.latency
-                    + h2d.total_latency();
+                let d2h = routes.costs(topo, Vertex::Device(da), Vertex::Numa(from_numa))?;
+                let host = host_path(topo, routes, cfg, from_numa, to_numa)?;
+                let h2d = routes.costs(topo, Vertex::Numa(to_numa), Vertex::Device(db))?;
+                let latency = per_stage_overhead * 3 + d2h.latency + host.latency + h2d.latency;
                 let bandwidth = d2h
-                    .bottleneck_bandwidth()
+                    .bandwidth_gb_s
                     .min(host.bandwidth)
-                    .min(h2d.bottleneck_bandwidth())
+                    .min(h2d.bandwidth_gb_s)
                     * pipeline_efficiency;
                 Some(PathCosts { latency, bandwidth })
             }
@@ -111,14 +134,14 @@ pub fn resolve_path(
                 BufferLoc::Device(_) => (from_numa, to_numa, d),
                 BufferLoc::Host => (to_numa, from_numa, d),
             };
-            let dev_route = topo.route(Vertex::Device(dev), Vertex::Numa(dev_numa))?;
+            let dev_route = routes.costs(topo, Vertex::Device(dev), Vertex::Numa(dev_numa))?;
             let host = if dev_numa == host_numa {
                 PathCosts {
                     latency: SimDuration::ZERO,
                     bandwidth: f64::INFINITY,
                 }
             } else {
-                host_path(dev_numa, host_numa)?
+                host_path(topo, routes, cfg, dev_numa, host_numa)?
             };
             let (stage_overhead, eff) = match cfg.device_path {
                 DevicePath::Rma { extra_overhead } => (extra_overhead, 1.0),
@@ -128,8 +151,8 @@ pub fn resolve_path(
                 } => (per_stage_overhead * 2, pipeline_efficiency),
             };
             Some(PathCosts {
-                latency: stage_overhead + dev_route.total_latency() + host.latency,
-                bandwidth: dev_route.bottleneck_bandwidth().min(host.bandwidth) * eff,
+                latency: stage_overhead + dev_route.latency + host.latency,
+                bandwidth: dev_route.bandwidth_gb_s.min(host.bandwidth) * eff,
             })
         }
     }
@@ -293,6 +316,48 @@ mod tests {
         .expect("path");
         assert_eq!(hd, dh);
         assert!(hd.latency > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn cached_resolution_matches_uncached_for_every_endpoint_combo() {
+        let t = topo();
+        for cfg in [cfg(), {
+            let mut c = cfg();
+            c.device_path = DevicePath::Rma {
+                extra_overhead: SimDuration::from_ns(100.0),
+            };
+            c
+        }] {
+            let mut routes = RouteCostCache::new();
+            let locs = [
+                BufferLoc::Host,
+                BufferLoc::Device(DeviceId(0)),
+                BufferLoc::Device(DeviceId(1)),
+            ];
+            for &fb in &locs {
+                for &tb in &locs {
+                    for fnuma in [NumaId(0), NumaId(1)] {
+                        for tnuma in [NumaId(0), NumaId(1)] {
+                            let plain = resolve_path(&t, &cfg, fnuma, fb, tnuma, tb);
+                            // Twice through the shared memo: first fill,
+                            // then hit.
+                            for _ in 0..2 {
+                                let cached = resolve_path_cached(
+                                    &t,
+                                    &mut routes,
+                                    &cfg,
+                                    fnuma,
+                                    fb,
+                                    tnuma,
+                                    tb,
+                                );
+                                assert_eq!(plain, cached);
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,14 +1,14 @@
 //! The rank world: per-rank virtual clocks and blocking send/recv.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use dessan::{RuntimeChecks, VectorClock};
 use doe_simtime::{SimDuration, SimRng, SimTime};
-use doe_topo::{CoreId, NodeTopology, NumaId};
+use doe_topo::{CoreId, NodeTopology, NumaId, RouteCostCache};
 
 use crate::config::MpiConfig;
-use crate::transport::{resolve_path, BufferLoc, PathCosts};
+use crate::transport::{resolve_path_cached, BufferLoc, PathCosts};
 
 /// A rank handle.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -56,6 +56,9 @@ impl std::error::Error for MpiError {}
 #[derive(Clone, Debug)]
 struct RankInfo {
     core: CoreId,
+    /// The core's NUMA domain, resolved once at `add_rank` — looking it up
+    /// per message would linear-scan the core table on every send/recv.
+    numa: NumaId,
     buffer: BufferLoc,
 }
 
@@ -102,6 +105,14 @@ struct MpiChecks {
     /// Outstanding blocking rendezvous sends, as (sender, receiver) wait
     /// edges: the sender is inside `MPI_Send` until the receiver matches.
     waits: Vec<(usize, usize)>,
+    /// Retired clock snapshots, reused for the next in-flight message so
+    /// steady-state checked sends don't allocate.
+    pool: Vec<VectorClock>,
+    /// Barrier LUB scratch, kept across calls for its buffer.
+    lub: VectorClock,
+    /// DFS scratch for [`Self::waits_on`].
+    dfs_stack: Vec<usize>,
+    dfs_seen: Vec<bool>,
 }
 
 impl MpiChecks {
@@ -110,22 +121,55 @@ impl MpiChecks {
             handle: RuntimeChecks::enabled(),
             vcs: vec![VectorClock::new(); nranks],
             waits: Vec::new(),
+            pool: Vec::new(),
+            lub: VectorClock::new(),
+            dfs_stack: Vec::new(),
+            dfs_seen: Vec::new(),
         }
     }
 
+    /// Snapshot rank `i`'s clock into pooled storage (allocation-free once
+    /// the pool is warm).
+    fn snapshot(&mut self, i: usize) -> VectorClock {
+        let mut snap = self.pool.pop().unwrap_or_default();
+        snap.clone_from(&self.vcs[i]);
+        snap
+    }
+
     /// True when some rank is reachable from `start` along wait edges.
-    fn waits_on(&self, start: usize, goal: usize) -> bool {
-        let mut stack = vec![start];
-        let mut seen = std::collections::BTreeSet::new();
-        while let Some(x) = stack.pop() {
+    fn waits_on(&mut self, start: usize, goal: usize) -> bool {
+        if self.dfs_seen.len() < self.vcs.len() {
+            self.dfs_seen.resize(self.vcs.len(), false);
+        }
+        self.dfs_seen.fill(false);
+        self.dfs_stack.clear();
+        self.dfs_stack.push(start);
+        while let Some(x) = self.dfs_stack.pop() {
             if x == goal {
                 return true;
             }
-            if seen.insert(x) {
-                stack.extend(self.waits.iter().filter(|&&(f, _)| f == x).map(|&(_, t)| t));
+            if let Some(v) = self.dfs_seen.get_mut(x) {
+                if *v {
+                    continue;
+                }
+                *v = true;
             }
+            self.dfs_stack
+                .extend(self.waits.iter().filter(|&&(f, _)| f == x).map(|&(_, t)| t));
         }
         false
+    }
+
+    /// Cold path: render and record a rendezvous deadlock finding.
+    #[cold]
+    fn report_deadlock(&mut self, from: usize, to: usize, bytes: u64) {
+        self.handle.report(
+            "deadlock",
+            format!(
+                "rank {from} blocking rendezvous send of {bytes} B to rank {to} closes a \
+                 wait cycle: rank {to} is already blocked waiting on rank {from}"
+            ),
+        );
     }
 }
 
@@ -138,8 +182,14 @@ pub struct MpiSim {
     clocks: Vec<SimTime>,
     /// Pending messages per receiving rank, FIFO per sender.
     mailboxes: Vec<VecDeque<Message>>,
-    /// Shared-memory copy port per NUMA domain.
-    ports: HashMap<NumaId, Port>,
+    /// Shared-memory copy port per NUMA domain, dense by `NumaId::index()`.
+    ports: Vec<Port>,
+    /// Memoized endpoint costs per (sender, receiver) rank pair, dense by
+    /// `from * nranks + to`; rebuilt when a rank is added. Every message
+    /// between a pair resolves the same path, so Dijkstra runs once.
+    paths: Vec<Option<PathCosts>>,
+    /// Route-cost memo backing [`Self::paths`] misses.
+    routes: RouteCostCache,
     /// Common-mode run factor: one draw per world, scaling every software
     /// and transport cost. Run-to-run σ in the paper is dominated by this
     /// common mode (DVFS, OS state), not per-message noise — per-message
@@ -171,13 +221,21 @@ impl MpiSim {
         let mut rng = SimRng::stream(seed, &format!("mpi/{}", topo.name), 0);
         let run_factor = cfg.jitter.sample_scalar(1.0, &mut rng).max(0.05);
         let checks = dessan::checks_enabled().then(|| Box::new(MpiChecks::new(0)));
+        let nports = topo
+            .numa_domains
+            .iter()
+            .map(|n| n.id.index() + 1)
+            .max()
+            .unwrap_or(0);
         Ok(MpiSim {
             topo,
             cfg,
             ranks: Vec::new(),
             clocks: Vec::new(),
             mailboxes: Vec::new(),
-            ports: HashMap::new(),
+            ports: vec![Port::default(); nports],
+            paths: Vec::new(),
+            routes: RouteCostCache::new(),
             run_factor,
             checks,
         })
@@ -192,11 +250,15 @@ impl MpiSim {
     }
 
     /// Findings the sanitizer has recorded against this world so far.
+    /// Returns without rendering (or allocating) when there is nothing to
+    /// report — the common case on every hot-loop call site.
     pub fn check_findings(&self) -> Vec<String> {
-        self.checks
-            .as_ref()
-            .map(|c| c.handle.findings().iter().map(|f| f.to_string()).collect())
-            .unwrap_or_default()
+        match &self.checks {
+            Some(c) if !c.handle.findings().is_empty() => {
+                c.handle.findings().iter().map(|f| f.to_string()).collect()
+            }
+            _ => Vec::new(),
+        }
     }
 
     #[inline]
@@ -232,13 +294,24 @@ impl MpiSim {
         if self.topo.core(core).is_none() {
             return Err(MpiError::InvalidCore(core));
         }
-        self.ranks.push(RankInfo { core, buffer });
+        let numa = self
+            .topo
+            .numa_of_core(core)
+            .ok_or(MpiError::InvalidCore(core))?;
+        self.ranks.push(RankInfo { core, numa, buffer });
         self.clocks.push(SimTime::ZERO);
         self.mailboxes.push(VecDeque::new());
+        // The pair-indexed path memo is dense in the rank count: rebuild.
+        let n = self.ranks.len();
+        self.paths.clear();
+        self.paths.resize(n * n, None);
+        if numa.index() >= self.ports.len() {
+            self.ports.resize(numa.index() + 1, Port::default());
+        }
         if let Some(ch) = &mut self.checks {
             ch.vcs.push(VectorClock::new());
         }
-        Ok(Rank(self.ranks.len() - 1))
+        Ok(Rank(n - 1))
     }
 
     /// Number of ranks.
@@ -271,32 +344,43 @@ impl MpiSim {
         // A barrier orders everything before it at every rank before
         // everything after it: all vector clocks join to the common LUB.
         if let Some(ch) = &mut self.checks {
-            let mut lub = VectorClock::new();
+            ch.lub.reset();
             for (i, vc) in ch.vcs.iter_mut().enumerate() {
                 vc.tick(i);
             }
             for vc in &ch.vcs {
-                lub.join(vc);
+                ch.lub.join_assign(vc);
             }
+            // Every clock is ≤ the LUB, so the in-place join *is* the
+            // assignment `*vc = lub.clone()` — without the clone.
             for vc in &mut ch.vcs {
-                *vc = lub.clone();
+                vc.join_assign(&ch.lub);
             }
         }
     }
 
-    fn path_between(&self, from: usize, to: usize) -> Result<PathCosts, MpiError> {
+    // doebench::hot
+    fn path_between(&mut self, from: usize, to: usize) -> Result<PathCosts, MpiError> {
+        // Dense pair memo first: one resolution per rank pair per world.
+        let idx = from * self.ranks.len() + to;
+        if let Some(Some(path)) = self.paths.get(idx) {
+            return Ok(*path);
+        }
+        let path = self.path_between_uncached(from, to)?;
+        self.paths[idx] = Some(path);
+        Ok(path)
+    }
+
+    /// The memo-miss path: full endpoint resolution (Dijkstra via the
+    /// route-cost cache) plus the on-die distance adjustment.
+    fn path_between_uncached(&mut self, from: usize, to: usize) -> Result<PathCosts, MpiError> {
+        let (fn_, fb) = (self.ranks[from].numa, self.ranks[from].buffer);
+        let (tn, tb) = (self.ranks[to].numa, self.ranks[to].buffer);
+        let mut path =
+            resolve_path_cached(&self.topo, &mut self.routes, &self.cfg, fn_, fb, tn, tb)
+                .ok_or_else(|| MpiError::NoPath(format!("rank {from} -> rank {to}")))?;
         let fi = &self.ranks[from];
         let ti = &self.ranks[to];
-        let fn_ = self
-            .topo
-            .numa_of_core(fi.core)
-            .ok_or(MpiError::InvalidCore(fi.core))?;
-        let tn = self
-            .topo
-            .numa_of_core(ti.core)
-            .ok_or(MpiError::InvalidCore(ti.core))?;
-        let mut path = resolve_path(&self.topo, &self.cfg, fn_, fi.buffer, tn, ti.buffer)
-            .ok_or_else(|| MpiError::NoPath(format!("rank {from} -> rank {to}")))?;
         // On-die mesh distance for same-domain host pairs (Xeon Phi's
         // "close" vs "far" core pairs).
         if fn_ == tn
@@ -337,6 +421,7 @@ impl MpiSim {
         self.send_impl(from, to, bytes, false)
     }
 
+    // doebench::hot
     fn send_impl(
         &mut self,
         from: Rank,
@@ -364,14 +449,11 @@ impl MpiSim {
         let sender_ready = if eager {
             let ser = self.scaled(SimDuration::transfer(bytes, path.bandwidth));
             let after_os = self.clocks[from.0] + o_s;
-            let numa = self
-                .topo
-                .numa_of_core(self.ranks[from.0].core)
-                .ok_or(MpiError::InvalidCore(self.ranks[from.0].core))?;
+            let numa = self.ranks[from.0].numa;
             let done = if ser.is_zero() {
                 after_os
             } else {
-                self.ports.entry(numa).or_default().occupy(after_os, ser)
+                self.ports[numa.index()].occupy(after_os, ser)
             };
             self.clocks[from.0] = done;
             done
@@ -393,18 +475,11 @@ impl MpiSim {
                     // blocked on `from`, no rank in that cycle can reach
                     // its recv: deadlock.
                     if ch.waits_on(to.0, from.0) {
-                        ch.handle.report(
-                            "deadlock",
-                            format!(
-                                "rank {} blocking rendezvous send of {} B to rank {} closes a \
-                                 wait cycle: rank {} is already blocked waiting on rank {}",
-                                from.0, bytes, to.0, to.0, from.0
-                            ),
-                        );
+                        ch.report_deadlock(from.0, to.0, bytes);
                     }
                     ch.waits.push((from.0, to.0));
                 }
-                Some(ch.vcs[from.0].clone())
+                Some(ch.snapshot(from.0))
             }
             None => None,
         };
@@ -423,6 +498,7 @@ impl MpiSim {
     /// Blocking receive at `at` of the oldest pending message from `from`.
     ///
     /// Returns the receiver-side completion instant.
+    // doebench::hot
     pub fn recv(&mut self, at: Rank, from: Rank, bytes: u64) -> Result<SimTime, MpiError> {
         if at.0 >= self.ranks.len() {
             return Err(MpiError::InvalidRank(at.0));
@@ -434,7 +510,7 @@ impl MpiSim {
                 to: at.0,
                 from: from.0,
             })?;
-        let Some(msg) = self.mailboxes[at.0].remove(pos) else {
+        let Some(mut msg) = self.mailboxes[at.0].remove(pos) else {
             return Err(MpiError::NoMatchingMessage {
                 to: at.0,
                 from: from.0,
@@ -444,8 +520,11 @@ impl MpiSim {
             // Receiving joins the sender's clock into the receiver's: the
             // send happens-before everything after this recv.
             ch.vcs[at.0].tick(at.0);
-            if let Some(c) = &msg.clock {
-                ch.vcs[at.0].join(c);
+            if let Some(c) = msg.clock.take() {
+                ch.vcs[at.0].join_assign(&c);
+                // The snapshot has served its purpose; its buffer backs
+                // the next send.
+                ch.pool.push(c);
             }
             // A matched rendezvous send unblocks its sender.
             if msg.blocking && msg.eager_arrival.is_none() {
@@ -469,17 +548,11 @@ impl MpiSim {
                                                  // The payload copy occupies the sender's NUMA port, then
                                                  // crosses the path.
                 let ser = self.scaled(SimDuration::transfer(msg.bytes, msg.path.bandwidth));
-                let sender_numa = self
-                    .topo
-                    .numa_of_core(self.ranks[msg.from].core)
-                    .ok_or(MpiError::InvalidCore(self.ranks[msg.from].core))?;
+                let sender_numa = self.ranks[msg.from].numa;
                 let copy_done = if ser.is_zero() {
                     data_start
                 } else {
-                    self.ports
-                        .entry(sender_numa)
-                        .or_default()
-                        .occupy(data_start, ser)
+                    self.ports[sender_numa.index()].occupy(data_start, ser)
                 };
                 let data_done = copy_done + lat;
                 // Synchronous completion: the sender unblocks when the

@@ -89,6 +89,22 @@ struct Msg {
 struct NetChecks {
     handle: RuntimeChecks,
     vcs: Vec<VectorClock>,
+    /// Retired message-clock snapshots, reused by later sends so the
+    /// steady-state checked loop is allocation-free.
+    pool: Vec<VectorClock>,
+    /// Barrier LUB scratch, kept for its buffer.
+    lub: VectorClock,
+}
+
+impl NetChecks {
+    fn new(nranks: usize) -> Self {
+        NetChecks {
+            handle: RuntimeChecks::enabled(),
+            vcs: vec![VectorClock::new(); nranks],
+            pool: Vec::new(),
+            lub: VectorClock::new(),
+        }
+    }
 }
 
 /// The inter-node rank world.
@@ -110,12 +126,7 @@ impl NetWorld {
     pub fn new(fabric: Fabric, nic: NicConfig, seed: u64) -> Self {
         let mut rng = SimRng::stream(seed, "netsim", 0);
         let run_factor = nic.jitter.sample_scalar(1.0, &mut rng).max(0.05);
-        let checks = dessan::checks_enabled().then(|| {
-            Box::new(NetChecks {
-                handle: RuntimeChecks::enabled(),
-                vcs: Vec::new(),
-            })
-        });
+        let checks = dessan::checks_enabled().then(|| Box::new(NetChecks::new(0)));
         NetWorld {
             fabric,
             nic,
@@ -131,19 +142,19 @@ impl NetWorld {
     /// `--check` switch (test fixtures).
     pub fn enable_checks(&mut self) {
         if self.checks.is_none() {
-            self.checks = Some(Box::new(NetChecks {
-                handle: RuntimeChecks::enabled(),
-                vcs: vec![VectorClock::new(); self.nodes.len()],
-            }));
+            self.checks = Some(Box::new(NetChecks::new(self.nodes.len())));
         }
     }
 
     /// Findings the sanitizer has recorded against this world so far.
+    /// Allocation-free when there is nothing to report (the common case).
     pub fn check_findings(&self) -> Vec<String> {
-        self.checks
-            .as_ref()
-            .map(|c| c.handle.findings().iter().map(|f| f.to_string()).collect())
-            .unwrap_or_default()
+        match &self.checks {
+            Some(c) if !c.handle.findings().is_empty() => {
+                c.handle.findings().iter().map(|f| f.to_string()).collect()
+            }
+            _ => Vec::new(),
+        }
     }
 
     /// Mutable fabric access (e.g. to add background flows mid-experiment).
@@ -181,14 +192,15 @@ impl NetWorld {
         }
         if let Some(ch) = &mut self.checks {
             // A barrier synchronizes everyone: each rank ticks, then all
-            // vector clocks collapse to their least upper bound.
-            let mut lub = VectorClock::new();
+            // vector clocks collapse to their least upper bound. The LUB
+            // scratch lives in the checks state so no clone is needed.
+            ch.lub.reset();
             for (i, vc) in ch.vcs.iter_mut().enumerate() {
                 vc.tick(i);
-                lub.join(vc);
+                ch.lub.join_assign(vc);
             }
             for vc in &mut ch.vcs {
-                vc.join(&lub);
+                vc.join_assign(&ch.lub);
             }
         }
     }
@@ -212,6 +224,7 @@ impl NetWorld {
     }
 
     /// Blocking send (eager below the threshold, rendezvous above).
+    // doebench::hot
     pub fn send(&mut self, from: NetRank, to: NetRank, bytes: u64) -> Result<(), NetError> {
         if from.0 >= self.nodes.len() {
             return Err(NetError::InvalidRank(from.0));
@@ -240,7 +253,10 @@ impl NetWorld {
         let vclock = match &mut self.checks {
             Some(ch) => {
                 ch.vcs[from.0].tick(from.0);
-                Some(ch.vcs[from.0].clone())
+                // Snapshot into a pooled clock instead of a fresh clone.
+                let mut snap = ch.pool.pop().unwrap_or_default();
+                snap.clone_from(&ch.vcs[from.0]);
+                Some(snap)
             }
             None => None,
         };
@@ -257,6 +273,7 @@ impl NetWorld {
     }
 
     /// Blocking receive of the oldest matching message.
+    // doebench::hot
     pub fn recv(&mut self, at: NetRank, from: NetRank, bytes: u64) -> Result<SimTime, NetError> {
         if at.0 >= self.nodes.len() {
             return Err(NetError::InvalidRank(at.0));
@@ -268,7 +285,7 @@ impl NetWorld {
                 to: at.0,
                 from: from.0,
             })?;
-        let Some(msg) = self.mailboxes[at.0].remove(pos) else {
+        let Some(mut msg) = self.mailboxes[at.0].remove(pos) else {
             return Err(NetError::NoMatchingMessage {
                 to: at.0,
                 from: from.0,
@@ -276,8 +293,9 @@ impl NetWorld {
         };
         if let Some(ch) = &mut self.checks {
             ch.vcs[at.0].tick(at.0);
-            if let Some(sent) = &msg.clock {
-                ch.vcs[at.0].join(sent);
+            if let Some(sent) = msg.clock.take() {
+                ch.vcs[at.0].join_assign(&sent);
+                ch.pool.push(sent);
             }
         }
         let o_r = self.scaled(self.nic.recv_overhead);

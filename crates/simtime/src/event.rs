@@ -4,9 +4,14 @@
 //! executions, in-flight protocol messages) are scheduled here and popped in
 //! timestamp order. Ties are broken by insertion sequence so that runs are
 //! bit-for-bit reproducible regardless of heap internals.
+//!
+//! Storage is arena-backed: payloads live in a slab whose freed slots are
+//! recycled through a free list, and the heap itself orders small `Copy`
+//! index entries. Once the queue has reached its high-water mark, a
+//! steady-state schedule/pop cycle touches no allocator at all — the form
+//! a 100-repetition campaign's inner loop needs.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
@@ -45,10 +50,36 @@ impl<T> Ord for Scheduled<T> {
     }
 }
 
+/// A heap entry: ordering key plus the arena slot holding the payload.
+///
+/// `Copy` on purpose — sift operations move these, never the payloads.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    at: SimTime,
+    seq: u64,
+    slot: u32,
+}
+
+impl HeapEntry {
+    /// Min-heap key: earliest timestamp first, then lowest sequence number.
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
+    }
+}
+
 /// A min-heap of timestamped events with deterministic FIFO tie-breaking.
+///
+/// Arena-backed: payloads live in `slots`, freed slots recycle through
+/// `free`, and `heap` is a hand-rolled index min-heap of [`HeapEntry`].
+/// After warm-up a schedule/pop cycle performs zero heap allocations.
 #[derive(Debug, Clone)]
 pub struct EventQueue<T> {
-    heap: BinaryHeap<Scheduled<T>>,
+    /// Payload slab; `None` marks a free slot.
+    slots: Vec<Option<T>>,
+    /// Indices of free slots in `slots`, reused LIFO.
+    free: Vec<u32>,
+    /// Index min-heap ordered by `(at, seq)`.
+    heap: Vec<HeapEntry>,
     next_seq: u64,
     last_popped: SimTime,
 }
@@ -62,24 +93,45 @@ impl<T> Default for EventQueue<T> {
 impl<T> EventQueue<T> {
     /// An empty queue.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty queue with arena and heap capacity for `cap` in-flight
+    /// events, so the first `cap` schedules never reallocate.
+    pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            slots: Vec::with_capacity(cap),
+            free: Vec::with_capacity(cap),
+            heap: Vec::with_capacity(cap),
             next_seq: 0,
             last_popped: SimTime::ZERO,
         }
     }
 
     /// Schedule `payload` to fire at `at`. Returns the event's sequence id.
+    // doebench::hot
     pub fn schedule(&mut self, at: SimTime, payload: T) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, payload });
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(payload);
+                slot
+            }
+            None => {
+                assert!(self.slots.len() < u32::MAX as usize, "event arena overflow");
+                self.slots.push(Some(payload));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.heap.push(HeapEntry { at, seq, slot });
+        self.sift_up(self.heap.len() - 1);
         seq
     }
 
     /// The timestamp of the next event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        self.heap.first().map(|e| e.at)
     }
 
     /// Pop the earliest event.
@@ -87,16 +139,64 @@ impl<T> EventQueue<T> {
     /// # Panics
     /// Panics if event timestamps would move backwards relative to a
     /// previously popped event — that indicates a scheduling bug upstream.
+    // doebench::hot
     pub fn pop(&mut self) -> Option<Scheduled<T>> {
-        let ev = self.heap.pop()?;
+        if self.heap.is_empty() {
+            return None;
+        }
+        let entry = self.heap.swap_remove(0);
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
         assert!(
-            ev.at >= self.last_popped,
+            entry.at >= self.last_popped,
             "event queue time went backwards: {:?} after {:?}",
-            ev.at,
+            entry.at,
             self.last_popped
         );
-        self.last_popped = ev.at;
-        Some(ev)
+        self.last_popped = entry.at;
+        let Some(payload) = self.slots[entry.slot as usize].take() else {
+            unreachable!("heap entry points at an occupied slot")
+        };
+        self.free.push(entry.slot);
+        Some(Scheduled {
+            at: entry.at,
+            seq: entry.seq,
+            payload,
+        })
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i].key() < self.heap[parent].key() {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let left = 2 * i + 1;
+            if left >= n {
+                break;
+            }
+            let right = left + 1;
+            let mut smallest = left;
+            if right < n && self.heap[right].key() < self.heap[left].key() {
+                smallest = right;
+            }
+            if self.heap[smallest].key() < self.heap[i].key() {
+                self.heap.swap(i, smallest);
+                i = smallest;
+            } else {
+                break;
+            }
+        }
     }
 
     /// Pop all events with timestamps `<= t`, earliest first, handing each
@@ -129,9 +229,18 @@ impl<T> EventQueue<T> {
         self.heap.is_empty()
     }
 
-    /// Drop every pending event (e.g. device reset).
+    /// Drop every pending event (e.g. device reset). Retains the arena and
+    /// heap capacity for reuse.
     pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
         self.heap.clear();
+    }
+
+    /// Capacity of the payload arena — its high-water mark of simultaneous
+    /// in-flight events (diagnostic; steady state should plateau here).
+    pub fn arena_len(&self) -> usize {
+        self.slots.len()
     }
 }
 
@@ -250,6 +359,107 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn arena_slots_are_recycled_in_steady_state() {
+        let mut q = EventQueue::with_capacity(4);
+        // Warm up to 3 simultaneous in-flight events.
+        for i in 0..3 {
+            q.schedule(t(i as f64), i);
+        }
+        // Steady state: pop one, schedule one, a thousand times over.
+        for i in 3..1000 {
+            q.pop().expect("queue holds 3 events");
+            q.schedule(t(i as f64), i);
+        }
+        // The arena never grew past the high-water mark.
+        assert_eq!(q.arena_len(), 3);
+        assert_eq!(q.len(), 3);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![997, 998, 999]);
+    }
+
+    /// Operations a queue run is built from, for the differential proptest.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Push(u64),
+        Pop,
+        DrainUntil(u64),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u64..1_000).prop_map(Op::Push),
+            (0u64..500).prop_map(Op::Push),
+            Just(Op::Pop),
+            (0u64..1_000).prop_map(Op::DrainUntil),
+        ]
+    }
+
+    proptest! {
+        /// Satellite: the arena queue's observable (timestamp, seq, payload)
+        /// pop order matches a reference `BinaryHeap<Scheduled<T>>` under
+        /// arbitrary interleaved push / pop / drain_until sequences.
+        #[test]
+        fn prop_arena_matches_reference_binary_heap(ops in proptest::collection::vec(op_strategy(), 0..120)) {
+            use std::collections::BinaryHeap;
+
+            let mut arena = EventQueue::new();
+            let mut reference: BinaryHeap<Scheduled<u32>> = BinaryHeap::new();
+            let mut ref_seq = 0u64;
+            // The reference has no monotonicity guard, so only advance time:
+            // drop ops that would schedule before the last observed pop.
+            let mut floor = SimTime::ZERO;
+            let mut payload = 0u32;
+
+            for op in ops {
+                match op {
+                    Op::Push(ps) => {
+                        let at = floor + SimDuration::from_ps(ps);
+                        let seq = arena.schedule(at, payload);
+                        prop_assert_eq!(seq, ref_seq);
+                        reference.push(Scheduled { at, seq: ref_seq, payload });
+                        ref_seq += 1;
+                        payload += 1;
+                    }
+                    Op::Pop => {
+                        let got = arena.pop();
+                        let want = reference.pop();
+                        match (got, want) {
+                            (None, None) => {}
+                            (Some(g), Some(w)) => {
+                                prop_assert_eq!(g.at, w.at);
+                                prop_assert_eq!(g.seq, w.seq);
+                                prop_assert_eq!(g.payload, w.payload);
+                                floor = g.at;
+                            }
+                            (g, w) => prop_assert!(false, "pop mismatch: {:?} vs {:?}", g, w),
+                        }
+                    }
+                    Op::DrainUntil(ps) => {
+                        let cut = floor + SimDuration::from_ps(ps);
+                        let mut got = Vec::new();
+                        arena.drain_until(cut, |ev| got.push(ev));
+                        let mut want = Vec::new();
+                        while reference.peek().is_some_and(|e| e.at <= cut) {
+                            want.push(reference.pop().expect("peeked"));
+                        }
+                        prop_assert_eq!(got.len(), want.len());
+                        for (g, w) in got.iter().zip(&want) {
+                            prop_assert_eq!(g.at, w.at);
+                            prop_assert_eq!(g.seq, w.seq);
+                            prop_assert_eq!(g.payload, w.payload);
+                        }
+                        if let Some(last) = got.last() {
+                            floor = last.at;
+                        }
+                    }
+                }
+                prop_assert_eq!(arena.len(), reference.len());
+                prop_assert_eq!(arena.peek_time(), reference.peek().map(|e| e.at));
+            }
+        }
     }
 
     proptest! {

@@ -70,6 +70,43 @@ impl Jitter {
         let eps = truncated_gaussian(rng) * self.rel_sigma;
         (value * (1.0 + eps)).max(0.0)
     }
+
+    /// Fill `out` with perturbed versions of `cost` — one independent draw
+    /// per slot, identical to `out.len()` sequential [`Self::sample`]
+    /// calls on the same generator.
+    ///
+    /// The batched form exists for the repetition loop: a campaign that
+    /// needs 100 noisy instances of the same primitive cost pulls them all
+    /// in one call against a caller-reused buffer instead of allocating or
+    /// branching per rep.
+    pub fn sample_into(&self, cost: SimDuration, rng: &mut SimRng, out: &mut [SimDuration]) {
+        if self.rel_sigma == 0.0 && self.abs_sigma.is_zero() {
+            out.fill(cost);
+            return;
+        }
+        let cost_ps = cost.as_ps() as f64;
+        let abs_ps = self.abs_sigma.as_ps() as f64;
+        for slot in out.iter_mut() {
+            let eps = truncated_gaussian(rng) * self.rel_sigma;
+            let add = truncated_gaussian(rng) * abs_ps;
+            let ps = cost_ps * (1.0 + eps) + add;
+            *slot = SimDuration::from_ps(if ps <= 0.0 { 0 } else { ps.round() as u64 });
+        }
+    }
+
+    /// Fill `out` with perturbed versions of `value` — the scalar analogue
+    /// of [`Self::sample_into`], identical to sequential
+    /// [`Self::sample_scalar`] calls.
+    pub fn sample_scalar_into(&self, value: f64, rng: &mut SimRng, out: &mut [f64]) {
+        if self.rel_sigma == 0.0 {
+            out.fill(value);
+            return;
+        }
+        for slot in out.iter_mut() {
+            let eps = truncated_gaussian(rng) * self.rel_sigma;
+            *slot = (value * (1.0 + eps)).max(0.0);
+        }
+    }
 }
 
 fn truncated_gaussian(rng: &mut SimRng) -> f64 {
@@ -130,6 +167,42 @@ mod tests {
     #[should_panic(expected = "rel_sigma out of range")]
     fn oversized_rel_sigma_rejected() {
         let _ = Jitter::relative(0.5);
+    }
+
+    #[test]
+    fn sample_into_matches_sequential_sampling() {
+        let j = Jitter::new(0.03, SimDuration::from_ns(5.0));
+        let c = SimDuration::from_us(7.0);
+        let seq: Vec<SimDuration> = {
+            let mut rng = SimRng::from_seed(21);
+            (0..64).map(|_| j.sample(c, &mut rng)).collect()
+        };
+        let mut rng = SimRng::from_seed(21);
+        let mut buf = vec![SimDuration::ZERO; 64];
+        j.sample_into(c, &mut rng, &mut buf);
+        assert_eq!(buf, seq);
+    }
+
+    #[test]
+    fn sample_scalar_into_matches_sequential_sampling() {
+        let j = Jitter::relative(0.05);
+        let seq: Vec<f64> = {
+            let mut rng = SimRng::from_seed(22);
+            (0..64).map(|_| j.sample_scalar(200.0, &mut rng)).collect()
+        };
+        let mut rng = SimRng::from_seed(22);
+        let mut buf = vec![0.0; 64];
+        j.sample_scalar_into(200.0, &mut rng, &mut buf);
+        assert_eq!(buf, seq);
+    }
+
+    #[test]
+    fn sample_into_with_no_noise_fills_cost() {
+        let mut rng = SimRng::from_seed(23);
+        let c = SimDuration::from_us(1.5);
+        let mut buf = vec![SimDuration::ZERO; 8];
+        Jitter::NONE.sample_into(c, &mut rng, &mut buf);
+        assert!(buf.iter().all(|&d| d == c));
     }
 
     proptest! {

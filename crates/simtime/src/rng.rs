@@ -95,11 +95,9 @@ impl SimRng {
         ((self.next_u64() as u128 * n as u128) >> 64) as u64
     }
 
-    /// Standard normal variate via Box–Muller (cached pair).
-    pub fn gaussian(&mut self) -> f64 {
-        if let Some(z) = self.gauss_spare.take() {
-            return z;
-        }
+    /// One Box–Muller pair: `(r·cosθ, r·sinθ)`.
+    #[inline]
+    fn gauss_pair(&mut self) -> (f64, f64) {
         // Avoid u == 0 so ln() stays finite.
         let u = loop {
             let u = self.uniform();
@@ -110,8 +108,53 @@ impl SimRng {
         let v = self.uniform();
         let r = (-2.0 * u.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * v;
-        self.gauss_spare = Some(r * theta.sin());
-        r * theta.cos()
+        (r * theta.cos(), r * theta.sin())
+    }
+
+    /// Standard normal variate via Box–Muller (cached pair).
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        let (c, s) = self.gauss_pair();
+        self.gauss_spare = Some(s);
+        c
+    }
+
+    /// Fill `out` with standard normal variates.
+    ///
+    /// Produces exactly the sequence that `out.len()` calls to
+    /// [`Self::gaussian`] would — same draws, same spare state afterwards —
+    /// but writes each Box–Muller pair straight into two adjacent slots
+    /// instead of round-tripping half of every pair through the spare
+    /// cache. This is the form the per-rep noise loop uses.
+    pub fn fill_gaussian(&mut self, out: &mut [f64]) {
+        if out.is_empty() {
+            return;
+        }
+        let mut i = 0;
+        if let Some(z) = self.gauss_spare.take() {
+            out[0] = z;
+            i = 1;
+        }
+        while i + 1 < out.len() {
+            let (c, s) = self.gauss_pair();
+            out[i] = c;
+            out[i + 1] = s;
+            i += 2;
+        }
+        if i < out.len() {
+            let (c, s) = self.gauss_pair();
+            out[i] = c;
+            self.gauss_spare = Some(s);
+        }
+    }
+
+    /// Fill `out` with uniform variates in `[0, 1)`.
+    pub fn fill_uniform(&mut self, out: &mut [f64]) {
+        for slot in out.iter_mut() {
+            *slot = self.uniform();
+        }
     }
 
     /// Normal variate with the given mean and standard deviation.
@@ -200,6 +243,35 @@ mod tests {
     #[should_panic(expected = "below(0)")]
     fn below_zero_panics() {
         SimRng::from_seed(1).below(0);
+    }
+
+    #[test]
+    fn fill_gaussian_matches_sequential_draws() {
+        // Any split of 9 draws across batches must reproduce the scalar
+        // sequence, including the spare carried across batch boundaries.
+        let seq: Vec<f64> = {
+            let mut r = SimRng::from_seed(77);
+            (0..9).map(|_| r.gaussian()).collect()
+        };
+        for split in 0..=9 {
+            let mut r = SimRng::from_seed(77);
+            let mut buf = vec![0.0; 9];
+            r.fill_gaussian(&mut buf[..split]);
+            r.fill_gaussian(&mut buf[split..]);
+            assert_eq!(buf, seq, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn fill_uniform_matches_sequential_draws() {
+        let seq: Vec<f64> = {
+            let mut r = SimRng::from_seed(11);
+            (0..7).map(|_| r.uniform()).collect()
+        };
+        let mut r = SimRng::from_seed(11);
+        let mut buf = vec![0.0; 7];
+        r.fill_uniform(&mut buf);
+        assert_eq!(buf, seq);
     }
 
     proptest! {

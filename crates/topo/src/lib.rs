@@ -59,4 +59,4 @@ pub use class::LinkClass;
 pub use ids::{CoreId, DeviceId, NumaId, SocketId, SwitchId, Vertex};
 pub use link::{Link, LinkKind};
 pub use node::{Core, Device, NodeTopology, NumaDomain, Socket, TopologyError};
-pub use route::Route;
+pub use route::{Route, RouteCostCache, RouteCosts};

@@ -77,6 +77,80 @@ impl Route {
             .min_by(|a, b| a.1.bandwidth_gb_s.total_cmp(&b.1.bandwidth_gb_s))
             .map(|(i, _)| oriented[i])
     }
+
+    /// Everything the runtimes' cost models consume, condensed into a
+    /// `Copy` value so a route can be computed once and its costs reused
+    /// without keeping the link vector alive.
+    pub fn costs(&self) -> RouteCosts {
+        RouteCosts {
+            latency: self.total_latency(),
+            bandwidth_gb_s: self.bottleneck_bandwidth(),
+            hops: self.links.len() as u32,
+            bottleneck: self.bottleneck_oriented(),
+        }
+    }
+}
+
+/// The cost summary of a [`Route`]: exactly the quantities the timing
+/// models read (`total_latency`, `bottleneck_bandwidth`,
+/// `bottleneck_oriented`, `hop_count`), as a `Copy` value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RouteCosts {
+    /// Sum of per-hop latencies ([`Route::total_latency`]).
+    pub latency: SimDuration,
+    /// Narrowest link bandwidth, GB/s; infinite for loopback
+    /// ([`Route::bottleneck_bandwidth`]).
+    pub bandwidth_gb_s: f64,
+    /// Number of link hops ([`Route::hop_count`]).
+    pub hops: u32,
+    /// Oriented bottleneck link, `None` for loopback
+    /// ([`Route::bottleneck_oriented`]).
+    pub bottleneck: Option<(Vertex, Vertex)>,
+}
+
+/// A lazily-filled memo of [`RouteCosts`] per `(from, to)` vertex pair.
+///
+/// Dijkstra in [`NodeTopology::route`] allocates two hash maps, a binary
+/// heap, and per-edge link clones on every call — fine for one-off queries,
+/// ruinous when a 100-repetition campaign resolves the same handful of
+/// pairs per simulated operation. Worlds own one cache each (a topology's
+/// public fields are mutable, so the memo cannot live inside
+/// [`NodeTopology`] itself); the cache fills during the first iterations of
+/// a rep and every later lookup is a short linear scan over the few pairs a
+/// benchmark actually exercises, allocation-free once warm.
+#[derive(Clone, Debug, Default)]
+pub struct RouteCostCache {
+    entries: Vec<((Vertex, Vertex), Option<RouteCosts>)>,
+}
+
+impl RouteCostCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        RouteCostCache::default()
+    }
+
+    /// The costs of the lowest-latency route `from → to`, computed on first
+    /// use and memoized (including the negative: a disconnected pair is
+    /// remembered as `None`).
+    pub fn costs(&mut self, topo: &NodeTopology, from: Vertex, to: Vertex) -> Option<RouteCosts> {
+        let key = (from, to);
+        if let Some((_, costs)) = self.entries.iter().find(|(k, _)| *k == key) {
+            return *costs;
+        }
+        let costs = topo.route(from, to).map(|r| r.costs());
+        self.entries.push((key, costs));
+        costs
+    }
+
+    /// Number of memoized pairs (diagnostics/tests).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
 }
 
 impl NodeTopology {
@@ -294,6 +368,40 @@ mod tests {
             .route(Vertex::Device(DeviceId(0)), Vertex::Device(DeviceId(0)))
             .expect("loopback");
         assert!(lb.bottleneck_oriented().is_none());
+    }
+
+    #[test]
+    fn costs_summary_matches_route_accessors() {
+        let t = dual();
+        for &a in &t.vertices() {
+            for &b in &t.vertices() {
+                let r = t.route(a, b).expect("connected");
+                let c = r.costs();
+                assert_eq!(c.latency, r.total_latency());
+                assert_eq!(c.bandwidth_gb_s, r.bottleneck_bandwidth());
+                assert_eq!(c.hops as usize, r.hop_count());
+                assert_eq!(c.bottleneck, r.bottleneck_oriented());
+            }
+        }
+    }
+
+    #[test]
+    fn cache_memoizes_and_agrees_with_route() {
+        let t = dual();
+        let mut cache = RouteCostCache::new();
+        assert!(cache.is_empty());
+        let a = Vertex::Device(DeviceId(0));
+        let b = Vertex::Device(DeviceId(1));
+        let first = cache.costs(&t, a, b).expect("connected");
+        assert_eq!(cache.len(), 1);
+        // Second lookup hits the memo — no growth.
+        let second = cache.costs(&t, a, b).expect("connected");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(first, second);
+        assert_eq!(first, t.route(a, b).expect("connected").costs());
+        // Direction is part of the key.
+        cache.costs(&t, b, a);
+        assert_eq!(cache.len(), 2);
     }
 
     proptest! {
