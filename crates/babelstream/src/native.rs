@@ -5,6 +5,8 @@
 //! kernels in order (Copy, Mul, Add, Triad, Dot), per-kernel times are
 //! recorded, and the run is verified against the analytically-evolved
 //! array values at the end.
+//!
+//! dessan::allow(wall-clock): the native backend times this machine, not the simulation.
 
 use std::time::Instant;
 

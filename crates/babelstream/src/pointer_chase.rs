@@ -6,6 +6,8 @@
 //! chased so every load depends on the previous one, defeating prefetch
 //! and overlap. Sweeping the working-set size walks the result through the
 //! cache hierarchy (L1 → L2 → LLC → DRAM).
+//!
+//! dessan::allow(wall-clock): the native backend times this machine, not the simulation.
 
 use std::time::Instant;
 

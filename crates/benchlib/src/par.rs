@@ -51,6 +51,7 @@ pub fn effective_jobs() -> usize {
     if explicit > 0 {
         return explicit;
     }
+    // dessan::allow(env-read): documented worker-count override knob, read once at startup.
     if let Ok(v) = std::env::var("DOEBENCH_JOBS") {
         if let Ok(n) = v.trim().parse::<usize>() {
             if n > 0 {

@@ -1,4 +1,6 @@
 //! Full paper-vs-measured experiment report (the source of EXPERIMENTS.md).
+//!
+//! dessan::allow(wall-clock): reports its own real elapsed wall time alongside simulated results.
 
 use std::fmt::Write as _;
 use std::time::Instant;

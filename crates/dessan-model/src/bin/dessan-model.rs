@@ -1,0 +1,36 @@
+//! Machine-model static check gate.
+//!
+//! ```text
+//! cargo run -p dessan-model --bin dessan-model [-- --mutate-smoke]
+//! ```
+//!
+//! Validates every machine spec against the physical invariants and the
+//! paper's reference tables; prints findings and exits nonzero if any.
+//! `--mutate-smoke` instead seeds a unit mix-up into one machine and
+//! exits zero only if the checker catches it — CI runs both modes so a
+//! silently broken checker cannot keep the gate green.
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--mutate-smoke");
+    if smoke {
+        let mutant = dessan_model::frontier_with_gib_peak();
+        let findings = dessan_model::check_machine(&mutant);
+        if findings.iter().any(|f| f.rule == "peak-citation") {
+            eprintln!("dessan-model: mutation smoke OK — seeded GiB/GB mix-up detected");
+            return;
+        }
+        eprintln!("dessan-model: mutation smoke FAILED — seeded mutation went undetected");
+        std::process::exit(1);
+    }
+    let findings = dessan_model::check_all();
+    for f in &findings {
+        println!("{f}");
+    }
+    eprintln!(
+        "dessan-model: 13 machine specs checked, {} finding(s)",
+        findings.len()
+    );
+    if !findings.is_empty() {
+        std::process::exit(1);
+    }
+}

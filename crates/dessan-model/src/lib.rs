@@ -1,0 +1,674 @@
+//! Units-typed static checker for the machine models.
+//!
+//! The 13 machine definitions in `doe-machines` are hand-transcribed from
+//! the paper's tables and vendor datasheets — exactly the kind of data a
+//! typo silently corrupts. This crate re-derives the physical invariants
+//! each spec must satisfy and cross-checks every model against the paper's
+//! published reference rows, routing each comparison through the
+//! unit-tagged types in [`doe_machines::units`] so GiB/s-vs-GB/s and
+//! ns-vs-µs mix-ups surface as findings instead of plausible numbers.
+//!
+//! Rules, by id:
+//!
+//! | id | invariant |
+//! |----|-----------|
+//! | `registry-count` | 13 machines: 5 CPU (Table 4) + 8 GPU (Tables 5–6) |
+//! | `registry-order` | unique names, strictly increasing Top500 ranks |
+//! | `paper-coverage` | every machine has its reference rows and vice versa |
+//! | `positive-latency` | every modelled latency is strictly positive |
+//! | `latency-window` | latencies land in their unit's plausible window (catches ns/µs mix-ups) |
+//! | `efficiency-range` | every efficiency/penalty factor is a fraction in (0, 1] |
+//! | `bandwidth-order` | per-core ≤ domain peak; fabric bandwidth monotone in link count |
+//! | `jitter-range` | relative jitter sigmas within the generator's [0, 0.25) domain |
+//! | `gpu-count` | GPU model count == topology device count == category claim |
+//! | `peak-citation` | cited "Peak" cells parse and match the modelled peaks (catches GiB/GB mix-ups) |
+//! | `paper-consistency` | calibrated outputs reproduce the published means |
+//!
+//! [`check_all`] runs everything; the `dessan-model` binary wires it into
+//! CI next to `dessan-lint`.
+
+use doe_machines::paper::{table4_row, table5_row, table6_row, TABLE4, TABLE5, TABLE6};
+use doe_machines::units::{parse_peak_citation, GbPerS, Micros, PeakBound};
+use doe_machines::{all_machines, by_name, Machine, MachineCategory};
+use doe_memmodel::{MemDomainModel, PlacementQuality, StreamOp};
+use doe_simtime::Jitter;
+use doe_topo::LinkKind;
+
+/// One invariant violation in one machine spec (or in the registry).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelFinding {
+    /// Machine name, or `"<registry>"` for cross-machine findings.
+    pub machine: String,
+    /// Stable rule id from the table above.
+    pub rule: &'static str,
+    /// Human-readable description with the offending values.
+    pub message: String,
+}
+
+impl std::fmt::Display for ModelFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: [{}] {}", self.machine, self.rule, self.message)
+    }
+}
+
+/// Relative slack for exact-citation comparisons: covers the tables'
+/// two-decimal rounding, not a unit conversion (GiB/GB is a 7.4% error).
+const CITE_SLACK: f64 = 0.001;
+
+/// Relative slack for calibration comparisons against published means.
+const CALIB_SLACK: f64 = 0.02;
+
+fn finding(out: &mut Vec<ModelFinding>, machine: &str, rule: &'static str, message: String) {
+    out.push(ModelFinding {
+        machine: machine.to_string(),
+        rule,
+        message,
+    });
+}
+
+fn check_jitter(out: &mut Vec<ModelFinding>, m: &Machine, what: &str, j: &Jitter) {
+    if !(0.0..0.25).contains(&j.rel_sigma) {
+        finding(
+            out,
+            m.name,
+            "jitter-range",
+            format!("{what} rel_sigma {} outside [0, 0.25)", j.rel_sigma),
+        );
+    }
+}
+
+fn check_mem_domain(out: &mut Vec<ModelFinding>, m: &Machine, what: &str, mem: &MemDomainModel) {
+    let lat = Micros::from_sim(mem.latency);
+    if lat.0 <= 0.0 {
+        finding(
+            out,
+            m.name,
+            "positive-latency",
+            format!("{what} latency is zero"),
+        );
+    } else if !(0.001..1.0).contains(&lat.0) {
+        // DRAM/HBM idle latency sits between 1 ns and 1 µs on every
+        // machine in the study; excursions are unit mistakes.
+        finding(
+            out,
+            m.name,
+            "latency-window",
+            format!("{what} latency {} µs outside [0.001, 1) µs", lat.0),
+        );
+    }
+    for (name, v) in [
+        ("sustained_efficiency", mem.sustained_efficiency),
+        ("cache_mode_penalty", mem.cache_mode_penalty),
+        ("unbound_efficiency", mem.unbound_efficiency),
+        ("smt_penalty", mem.smt_penalty),
+    ] {
+        if !(v > 0.0 && v <= 1.0) {
+            finding(
+                out,
+                m.name,
+                "efficiency-range",
+                format!("{what} {name} {v} outside (0, 1]"),
+            );
+        }
+    }
+    for (i, &v) in mem.op_efficiency.iter().enumerate() {
+        if !(v > 0.0 && v <= 1.2) {
+            finding(
+                out,
+                m.name,
+                "efficiency-range",
+                format!("{what} op_efficiency[{i}] {v} outside (0, 1.2]"),
+            );
+        }
+    }
+    if mem.llc_bw_factor < 1.0 {
+        finding(
+            out,
+            m.name,
+            "efficiency-range",
+            format!("{what} llc_bw_factor {} < 1", mem.llc_bw_factor),
+        );
+    }
+    let peak = GbPerS(mem.peak_bw_gb_s);
+    let per_core = GbPerS(mem.per_core_bw_gb_s);
+    if !(per_core.0 > 0.0 && peak.0 > 0.0) {
+        finding(
+            out,
+            m.name,
+            "bandwidth-order",
+            format!("{what} bandwidths must be positive"),
+        );
+    } else if per_core > peak {
+        finding(
+            out,
+            m.name,
+            "bandwidth-order",
+            format!(
+                "{what} per-core {} GB/s exceeds domain peak {} GB/s",
+                per_core.0, peak.0
+            ),
+        );
+    }
+}
+
+/// Fabric links must deliver bandwidth monotone in their width: a quad
+/// Infinity Fabric pair cannot be slower than a single link, and more
+/// NVLink bricks cannot carry less.
+fn check_fabric_order(out: &mut Vec<ModelFinding>, m: &Machine) {
+    let mut if_widths: Vec<(u8, f64)> = Vec::new();
+    let mut nv_widths: Vec<(u8, f64)> = Vec::new();
+    for l in &m.topo.links {
+        if l.bandwidth_gb_s <= 0.0 {
+            finding(
+                out,
+                m.name,
+                "bandwidth-order",
+                format!("link {:?} <-> {:?} has non-positive bandwidth", l.a, l.b),
+            );
+        }
+        match l.kind {
+            LinkKind::InfinityFabric { links } => if_widths.push((links, l.bandwidth_gb_s)),
+            LinkKind::NvLink { bricks, .. } => nv_widths.push((bricks, l.bandwidth_gb_s)),
+            _ => {}
+        }
+    }
+    for (fabric, widths) in [("InfinityFabric", if_widths), ("NVLink", nv_widths)] {
+        for (wa, ba) in &widths {
+            for (wb, bb) in &widths {
+                if wa < wb && ba > bb {
+                    finding(
+                        out,
+                        m.name,
+                        "bandwidth-order",
+                        format!("{fabric} x{wa} at {ba} GB/s outruns x{wb} at {bb} GB/s"),
+                    );
+                    return; // one report per machine is enough
+                }
+            }
+        }
+    }
+}
+
+/// Per-machine physical invariants: everything checkable from the spec
+/// alone, without the paper's reference rows.
+pub fn check_machine(m: &Machine) -> Vec<ModelFinding> {
+    let mut out = Vec::new();
+
+    check_mem_domain(&mut out, m, "host_mem", &m.host_mem);
+    check_jitter(&mut out, m, "host_stream_jitter", &m.host_stream_jitter);
+    check_jitter(&mut out, m, "mpi.jitter", &m.mpi.jitter);
+
+    let shm = Micros::from_sim(m.mpi.shm_latency);
+    if shm.0 <= 0.0 {
+        finding(
+            &mut out,
+            m.name,
+            "positive-latency",
+            "mpi shm_latency is zero".into(),
+        );
+    } else if shm.0 >= 50.0 {
+        // The slowest on-node latency in the study is Theta's 6.25 µs; a
+        // shared-memory ping in the tens of µs is a unit mistake.
+        finding(
+            &mut out,
+            m.name,
+            "latency-window",
+            format!("mpi shm_latency {} µs outside (0, 50) µs", shm.0),
+        );
+    }
+    if m.mpi.shm_bandwidth <= 0.0 {
+        finding(
+            &mut out,
+            m.name,
+            "bandwidth-order",
+            "mpi shm_bandwidth must be positive".into(),
+        );
+    }
+
+    for (i, g) in m.gpu_models.iter().enumerate() {
+        let what = format!("gpu[{i}]");
+        check_mem_domain(&mut out, m, &format!("{what}.hbm"), &g.hbm);
+        check_jitter(&mut out, m, &format!("{what}.jitter"), &g.jitter);
+        for (name, d) in [
+            ("launch_overhead", g.launch_overhead),
+            ("sync_overhead", g.sync_overhead),
+            ("stream_sync_overhead", g.stream_sync_overhead),
+        ] {
+            let us = Micros::from_sim(d);
+            if us.0 <= 0.0 {
+                finding(
+                    &mut out,
+                    m.name,
+                    "positive-latency",
+                    format!("{what}.{name} is zero"),
+                );
+            } else if us.0 >= 100.0 {
+                // Table 6 launch/wait latencies top out below 6 µs.
+                finding(
+                    &mut out,
+                    m.name,
+                    "latency-window",
+                    format!("{what}.{name} {} µs outside (0, 100) µs", us.0),
+                );
+            }
+        }
+    }
+
+    check_fabric_order(&mut out, m);
+
+    // Category, device count, and model count must tell one story.
+    let devices = m.topo.device_count();
+    let accelerated = m.category == MachineCategory::Accelerator;
+    if m.gpu_models.len() != devices {
+        finding(
+            &mut out,
+            m.name,
+            "gpu-count",
+            format!(
+                "{} GPU models for {} topology devices",
+                m.gpu_models.len(),
+                devices
+            ),
+        );
+    }
+    if accelerated != (devices > 0) {
+        finding(
+            &mut out,
+            m.name,
+            "gpu-count",
+            format!(
+                "category {:?} but topology has {devices} devices",
+                m.category
+            ),
+        );
+    }
+    if accelerated != m.device_peak_citation.is_some() {
+        finding(
+            &mut out,
+            m.name,
+            "gpu-count",
+            "device peak citation presence contradicts category".into(),
+        );
+    }
+
+    // Citation cells must parse and agree with the modelled peaks.
+    match m.cited_host_peak() {
+        None => finding(
+            &mut out,
+            m.name,
+            "peak-citation",
+            format!("host peak cell `{}` does not parse", m.host_peak_citation),
+        ),
+        Some(cite) => match cite.bound {
+            PeakBound::Exact(v) => {
+                if (m.host_peak().0 - v.0).abs() / v.0 > CITE_SLACK {
+                    finding(
+                        &mut out,
+                        m.name,
+                        "peak-citation",
+                        format!(
+                            "modelled host peak {} GB/s vs cited {} GB/s",
+                            m.host_peak().0,
+                            v.0
+                        ),
+                    );
+                }
+            }
+            PeakBound::LowerBound(v) => {
+                if m.host_peak() < v {
+                    finding(
+                        &mut out,
+                        m.name,
+                        "peak-citation",
+                        format!(
+                            "modelled host peak {} GB/s below cited bound > {} GB/s",
+                            m.host_peak().0,
+                            v.0
+                        ),
+                    );
+                }
+            }
+            PeakBound::Unstated => {}
+        },
+    }
+    if let (Some(cell), Some(peak)) = (m.device_peak_citation, m.device_peak()) {
+        match parse_peak_citation(cell) {
+            None => finding(
+                &mut out,
+                m.name,
+                "peak-citation",
+                format!("device peak cell `{cell}` does not parse"),
+            ),
+            Some(cite) => {
+                if let PeakBound::Exact(v) = cite.bound {
+                    if (peak.0 - v.0).abs() / v.0 > CITE_SLACK {
+                        finding(
+                            &mut out,
+                            m.name,
+                            "peak-citation",
+                            format!(
+                                "modelled device peak {} GB/s vs cited {} GB/s \
+                                 (a GiB/GB mix-up is a 7.4% error)",
+                                peak.0, v.0
+                            ),
+                        );
+                    }
+                }
+                if !cite.admits(
+                    GbPerS(peak.0 * m.gpu_models[0].hbm.sustained_efficiency),
+                    CITE_SLACK,
+                ) {
+                    finding(
+                        &mut out,
+                        m.name,
+                        "peak-citation",
+                        "sustained device bandwidth exceeds the cited peak".into(),
+                    );
+                }
+            }
+        }
+    }
+
+    out
+}
+
+/// Cross-checks of one machine against its published reference rows.
+pub fn check_paper(m: &Machine) -> Vec<ModelFinding> {
+    let mut out = Vec::new();
+    match m.category {
+        MachineCategory::NonAccelerator => {
+            let Some(row) = table4_row(m.name) else {
+                finding(
+                    &mut out,
+                    m.name,
+                    "paper-coverage",
+                    "CPU machine has no Table 4 row".into(),
+                );
+                return out;
+            };
+            if row.peak != m.host_peak_citation {
+                finding(
+                    &mut out,
+                    m.name,
+                    "peak-citation",
+                    format!(
+                        "host peak cell `{}` differs from Table 4's `{}`",
+                        m.host_peak_citation, row.peak
+                    ),
+                );
+            }
+            if row.single.0 > row.all.0 {
+                finding(
+                    &mut out,
+                    m.name,
+                    "paper-consistency",
+                    "single-thread bandwidth exceeds all-thread bandwidth".into(),
+                );
+            }
+            if Micros(row.on_socket.0) > Micros(row.on_node.0) {
+                finding(
+                    &mut out,
+                    m.name,
+                    "paper-consistency",
+                    "on-socket latency exceeds on-node latency".into(),
+                );
+            }
+            // Calibration: the memory model must reproduce the Table 4
+            // means it was fit to.
+            let cores = m.topo.core_count() as u32;
+            let all = m
+                .host_mem
+                .raw_sustained_bw(PlacementQuality::all_cores(cores));
+            if (all - row.all.0).abs() / row.all.0 > CALIB_SLACK {
+                finding(
+                    &mut out,
+                    m.name,
+                    "paper-consistency",
+                    format!(
+                        "all-core sustained {all:.2} GB/s vs Table 4 mean {} GB/s",
+                        row.all.0
+                    ),
+                );
+            }
+            let on_socket =
+                Micros::from_sim(m.mpi.send_overhead + m.mpi.shm_latency + m.mpi.recv_overhead);
+            if (on_socket.0 - row.on_socket.0).abs() > 0.01 + CALIB_SLACK * row.on_socket.0 {
+                finding(
+                    &mut out,
+                    m.name,
+                    "paper-consistency",
+                    format!(
+                        "on-socket MPI components sum to {:.3} µs vs Table 4's {} µs",
+                        on_socket.0, row.on_socket.0
+                    ),
+                );
+            }
+        }
+        MachineCategory::Accelerator => {
+            let (Some(t5), Some(t6)) = (table5_row(m.name), table6_row(m.name)) else {
+                finding(
+                    &mut out,
+                    m.name,
+                    "paper-coverage",
+                    "GPU machine lacks a Table 5 or Table 6 row".into(),
+                );
+                return out;
+            };
+            if m.device_peak_citation != Some(t5.peak) {
+                finding(
+                    &mut out,
+                    m.name,
+                    "peak-citation",
+                    format!(
+                        "device peak cell {:?} differs from Table 5's `{}`",
+                        m.device_peak_citation, t5.peak
+                    ),
+                );
+            }
+            if let Some(cite) = parse_peak_citation(t5.peak) {
+                if !cite.admits(GbPerS(t5.device_bw.0), CITE_SLACK) {
+                    finding(
+                        &mut out,
+                        m.name,
+                        "paper-consistency",
+                        format!(
+                            "Table 5 measured {} GB/s exceeds its own cited peak `{}`",
+                            t5.device_bw.0, t5.peak
+                        ),
+                    );
+                }
+            }
+            if let Some(g) = m.gpu_models.first() {
+                let triad = g.stream_bw(StreamOp::Triad);
+                if (triad - t5.device_bw.0).abs() / t5.device_bw.0 > CALIB_SLACK {
+                    finding(
+                        &mut out,
+                        m.name,
+                        "paper-consistency",
+                        format!(
+                            "GPU triad {triad:.2} GB/s vs Table 5 mean {} GB/s",
+                            t5.device_bw.0
+                        ),
+                    );
+                }
+            }
+            let classes = m.topo.present_classes().len();
+            let t5_classes = t5.d2d.iter().flatten().count();
+            let t6_classes = t6.d2d.iter().flatten().count();
+            if classes != t5_classes || classes != t6_classes {
+                finding(
+                    &mut out,
+                    m.name,
+                    "paper-consistency",
+                    format!(
+                        "{classes} topology link classes vs {t5_classes} in Table 5, \
+                         {t6_classes} in Table 6"
+                    ),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Registry-level checks over the full machine list.
+pub fn check_registry(machines: &[Machine]) -> Vec<ModelFinding> {
+    let mut out = Vec::new();
+    let reg = "<registry>";
+    let cpus = machines
+        .iter()
+        .filter(|m| m.category == MachineCategory::NonAccelerator)
+        .count();
+    let gpus = machines.len() - cpus;
+    if machines.len() != 13 || cpus != 5 || gpus != 8 {
+        finding(
+            &mut out,
+            reg,
+            "registry-count",
+            format!(
+                "{} machines ({cpus} CPU + {gpus} GPU); the paper studies 13 (5 + 8)",
+                machines.len()
+            ),
+        );
+    }
+    for w in machines.windows(2) {
+        if w[0].top500_rank >= w[1].top500_rank {
+            finding(
+                &mut out,
+                reg,
+                "registry-order",
+                format!(
+                    "{} (rank {}) does not precede {} (rank {})",
+                    w[0].name, w[0].top500_rank, w[1].name, w[1].top500_rank
+                ),
+            );
+        }
+    }
+    let mut names: Vec<&str> = machines.iter().map(|m| m.name).collect();
+    names.sort_unstable();
+    for w in names.windows(2) {
+        if w[0].eq_ignore_ascii_case(w[1]) {
+            finding(
+                &mut out,
+                reg,
+                "registry-order",
+                format!("duplicate machine name `{}`", w[0]),
+            );
+        }
+    }
+    // Every reference row must point back at a machine of the right kind.
+    let find = |name: &str| machines.iter().find(|m| m.name.eq_ignore_ascii_case(name));
+    for row in &TABLE4 {
+        match find(row.machine) {
+            Some(m) if m.category == MachineCategory::NonAccelerator => {}
+            Some(_) => finding(
+                &mut out,
+                reg,
+                "paper-coverage",
+                format!("Table 4 row `{}` names an accelerator machine", row.machine),
+            ),
+            None => finding(
+                &mut out,
+                reg,
+                "paper-coverage",
+                format!("Table 4 row `{}` has no machine", row.machine),
+            ),
+        }
+    }
+    for (table, rows) in [
+        (
+            "Table 5",
+            TABLE5.iter().map(|r| r.machine).collect::<Vec<_>>(),
+        ),
+        (
+            "Table 6",
+            TABLE6.iter().map(|r| r.machine).collect::<Vec<_>>(),
+        ),
+    ] {
+        for name in rows {
+            match find(name) {
+                Some(m) if m.category == MachineCategory::Accelerator => {}
+                Some(_) => finding(
+                    &mut out,
+                    reg,
+                    "paper-coverage",
+                    format!("{table} row `{name}` names a CPU machine"),
+                ),
+                None => finding(
+                    &mut out,
+                    reg,
+                    "paper-coverage",
+                    format!("{table} row `{name}` has no machine"),
+                ),
+            }
+        }
+    }
+    out
+}
+
+/// Run every check over the registry: per-machine physics, paper
+/// cross-checks, and registry structure. Extension machines (not in the
+/// paper) get the physics checks only.
+pub fn check_all() -> Vec<ModelFinding> {
+    let machines = all_machines();
+    let mut out = check_registry(&machines);
+    for m in &machines {
+        out.extend(check_machine(m));
+        out.extend(check_paper(m));
+    }
+    for m in doe_machines::extensions::extension_machines() {
+        out.extend(check_machine(&m));
+    }
+    out
+}
+
+/// Re-exported for the mutation smoke test in CI: a copy of Frontier with
+/// its device peak transcribed in GiB/s instead of GB/s — the checker must
+/// reject it.
+pub fn frontier_with_gib_peak() -> Machine {
+    use doe_machines::units::GIB_PER_GB;
+    let mut m = by_name("Frontier").expect("Frontier exists");
+    for g in &mut m.gpu_models {
+        g.hbm.peak_bw_gb_s *= GIB_PER_GB;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_shipped_registry_is_clean() {
+        let findings = check_all();
+        assert!(
+            findings.is_empty(),
+            "expected clean models, got:\n{}",
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn findings_render_with_machine_and_rule() {
+        let f = ModelFinding {
+            machine: "Frontier".into(),
+            rule: "peak-citation",
+            message: "demo".into(),
+        };
+        assert_eq!(f.to_string(), "Frontier: [peak-citation] demo");
+    }
+
+    #[test]
+    fn the_smoke_fixture_is_rejected() {
+        let m = frontier_with_gib_peak();
+        let findings = check_machine(&m);
+        assert!(
+            findings.iter().any(|f| f.rule == "peak-citation"),
+            "{findings:?}"
+        );
+    }
+}

@@ -6,7 +6,7 @@
 //!
 //! Scans `crates/*/src/**/*.rs`, applies the `dessan.toml` grandfather
 //! allowlist, prints violations, and exits nonzero if any remain. Unused
-//! allowlist entries are reported as warnings so the list only shrinks.
+//! allowlist entries are a hard failure so the list only shrinks.
 
 use std::path::PathBuf;
 
@@ -26,7 +26,7 @@ fn main() {
         println!("{f}");
     }
     for (rule, path) in &report.unused_allows {
-        eprintln!("warning: unused allowlist entry `{rule} {path}` — delete it from dessan.toml");
+        eprintln!("error: unused allowlist entry `{rule} {path}` — delete it from dessan.toml");
     }
     eprintln!(
         "dessan-lint: {} file(s), {} violation(s), {} grandfathered",
@@ -34,7 +34,7 @@ fn main() {
         report.findings.len(),
         report.allowed
     );
-    if !report.is_clean() {
+    if !report.is_clean() || !report.unused_allows.is_empty() {
         std::process::exit(1);
     }
 }

@@ -1,0 +1,569 @@
+//! A small, lossless, hand-rolled Rust lexer.
+//!
+//! The syntax-aware half of dessan (items → call graph → rules) needs more
+//! structure than the historical "blank out comments and strings" pass:
+//! token kinds and byte spans. The container has no crates.io, so this is
+//! written from scratch against the subset of Rust the workspace actually
+//! uses — but it handles the full literal grammar (nested block comments,
+//! raw strings with hashes, byte/raw-byte strings, char literals vs
+//! lifetimes, raw identifiers), because those are exactly the places a
+//! token-level scanner gets confused.
+//!
+//! Two guarantees, both tested:
+//!
+//! 1. **Lossless**: token spans tile the input exactly —
+//!    `tokens.map(text).concat() == src`.
+//! 2. **Differential**: [`blank_non_code`] reproduces the legacy
+//!    [`crate::lint::strip_comments_and_strings`] byte-for-byte, including
+//!    its rendering quirks (the `b` prefix of byte literals survives, a
+//!    lifetime keeps its identifier chars). The differential test runs over
+//!    the whole workspace corpus plus adversarial fixtures, so the two
+//!    scanners cannot drift apart silently.
+
+/// What a token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Spaces, tabs, newlines.
+    Whitespace,
+    /// `// …` up to (not including) the newline.
+    LineComment,
+    /// `/* … */`, nesting-aware; runs to EOF if unterminated.
+    BlockComment,
+    /// An identifier or keyword (`fn`, `impl`, `foo`).
+    Ident,
+    /// A raw identifier (`r#fn`).
+    RawIdent,
+    /// A lifetime (`'a`), or a stray `'` that introduces neither a char
+    /// literal nor a lifetime.
+    Lifetime,
+    /// A char literal (`'x'`, `'\n'`, `'\u{41}'`).
+    Char,
+    /// A byte char literal (`b'x'`).
+    ByteChar,
+    /// A string literal (`"…"`), escapes handled.
+    Str,
+    /// A raw string literal (`r"…"`, `r#"…"#`).
+    RawStr,
+    /// A byte string literal (`b"…"`).
+    ByteStr,
+    /// A raw byte string literal (`br#"…"#`).
+    RawByteStr,
+    /// A numeric literal (including suffixes: `0x1f`, `10u64`).
+    Num,
+    /// A single punctuation character (`{`, `:`, `!`, …).
+    Punct,
+}
+
+impl TokKind {
+    /// Is this token executable code (not a comment, literal text, or
+    /// whitespace)? Identifiers, numbers, and punctuation are code.
+    pub fn is_code(self) -> bool {
+        matches!(
+            self,
+            TokKind::Ident | TokKind::RawIdent | TokKind::Lifetime | TokKind::Num | TokKind::Punct
+        )
+    }
+
+    /// Is this a comment token?
+    pub fn is_comment(self) -> bool {
+        matches!(self, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// One token: kind plus the byte span into the source it was lexed from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Byte offset of the first char.
+    pub start: usize,
+    /// Byte offset one past the last char.
+    pub end: usize,
+    /// 1-based line of the token's first char.
+    pub line: usize,
+}
+
+impl Token {
+    /// The token's text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Character stream with byte offsets and line tracking.
+struct Cursor<'a> {
+    chars: Vec<(usize, char)>,
+    src: &'a str,
+    /// Index into `chars`.
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            chars: src.char_indices().collect(),
+            src,
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    fn byte_at(&self, idx: usize) -> usize {
+        self.chars
+            .get(idx)
+            .map(|&(b, _)| b)
+            .unwrap_or(self.src.len())
+    }
+
+    /// Advance one char, tracking lines.
+    fn bump(&mut self) {
+        if let Some(&(_, c)) = self.chars.get(self.pos) {
+            if c == '\n' {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// The legacy scanner's char-literal heuristic: after a `'`, a literal
+/// closes with a quote after one (possibly escaped) character.
+fn is_char_literal(cur: &Cursor<'_>, quote_at: usize) -> bool {
+    match cur.chars.get(quote_at + 1).map(|&(_, c)| c) {
+        Some('\\') => true,
+        Some(_) => matches!(cur.chars.get(quote_at + 2), Some(&(_, '\''))),
+        None => false,
+    }
+}
+
+/// Does a raw-string opener (`"` after zero or more `#`) start at
+/// `cur.pos + from`? Returns the char count of `#…#"` when it does.
+fn raw_string_opener(cur: &Cursor<'_>, from: usize) -> Option<usize> {
+    let mut n = from;
+    while cur.peek(n) == Some('#') {
+        n += 1;
+    }
+    if cur.peek(n) == Some('"') {
+        Some(n + 1 - from)
+    } else {
+        None
+    }
+}
+
+/// Tokenize `src` losslessly: the returned spans tile the input exactly.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while !cur.at_end() {
+        let start = cur.pos;
+        let line = cur.line;
+        let c = cur.peek(0).expect("not at end");
+        let kind = match c {
+            c if c.is_whitespace() => {
+                while cur.peek(0).is_some_and(|c| c.is_whitespace()) {
+                    cur.bump();
+                }
+                TokKind::Whitespace
+            }
+            '/' if cur.peek(1) == Some('/') => {
+                while cur.peek(0).is_some_and(|c| c != '\n') {
+                    cur.bump();
+                }
+                TokKind::LineComment
+            }
+            '/' if cur.peek(1) == Some('*') => {
+                cur.bump_n(2);
+                let mut depth = 1u32;
+                while depth > 0 && !cur.at_end() {
+                    if cur.peek(0) == Some('/') && cur.peek(1) == Some('*') {
+                        depth += 1;
+                        cur.bump_n(2);
+                    } else if cur.peek(0) == Some('*') && cur.peek(1) == Some('/') {
+                        depth -= 1;
+                        cur.bump_n(2);
+                    } else {
+                        cur.bump();
+                    }
+                }
+                TokKind::BlockComment
+            }
+            '"' => {
+                lex_string_body(&mut cur);
+                TokKind::Str
+            }
+            'r' if raw_string_opener(&cur, 1).is_some() => {
+                let hashes = raw_string_opener(&cur, 1).expect("checked") - 1;
+                cur.bump_n(1 + hashes + 1);
+                lex_raw_string_body(&mut cur, hashes);
+                TokKind::RawStr
+            }
+            'r' if cur.peek(1) == Some('#') && cur.peek(2).is_some_and(is_ident_start) => {
+                cur.bump_n(2);
+                consume_ident_continue(&mut cur);
+                TokKind::RawIdent
+            }
+            'b' if cur.peek(1) == Some('"') => {
+                cur.bump();
+                lex_string_body(&mut cur);
+                TokKind::ByteStr
+            }
+            'b' if cur.peek(1) == Some('r') && raw_string_opener(&cur, 2).is_some() => {
+                let hashes = raw_string_opener(&cur, 2).expect("checked") - 1;
+                cur.bump_n(2 + hashes + 1);
+                lex_raw_string_body(&mut cur, hashes);
+                TokKind::RawByteStr
+            }
+            'b' if cur.peek(1) == Some('\'') && is_char_literal(&cur, cur.pos + 1) => {
+                cur.bump();
+                lex_char_body(&mut cur);
+                TokKind::ByteChar
+            }
+            '\'' => {
+                if is_char_literal(&cur, cur.pos) {
+                    lex_char_body(&mut cur);
+                    TokKind::Char
+                } else {
+                    cur.bump();
+                    consume_ident_continue(&mut cur);
+                    TokKind::Lifetime
+                }
+            }
+            c if is_ident_start(c) => {
+                cur.bump();
+                consume_ident_continue(&mut cur);
+                TokKind::Ident
+            }
+            c if c.is_ascii_digit() => {
+                cur.bump();
+                consume_ident_continue(&mut cur);
+                TokKind::Num
+            }
+            _ => {
+                cur.bump();
+                TokKind::Punct
+            }
+        };
+        out.push(Token {
+            kind,
+            start: cur.byte_at(start),
+            end: cur.byte_at(cur.pos),
+            line,
+        });
+    }
+    out
+}
+
+/// Consume identifier-continue chars, but stop *before* an `r` that opens
+/// a raw string (`r"…"` / `r#"…"#`): the legacy scanner recognizes that
+/// opener mid-word, so the lexer must hand it to the raw-string arm to
+/// stay differentially equal.
+fn consume_ident_continue(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.peek(0) {
+        if !is_ident_continue(c) {
+            return;
+        }
+        if c == 'r' && raw_string_opener(cur, 1).is_some() {
+            return;
+        }
+        cur.bump();
+    }
+}
+
+/// Consume `"…"` from the opening quote, honoring `\` escapes; stops at
+/// EOF when unterminated.
+fn lex_string_body(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.peek(0) {
+        if c == '\\' {
+            cur.bump_n(2);
+        } else if c == '"' {
+            cur.bump();
+            return;
+        } else {
+            cur.bump();
+        }
+    }
+}
+
+/// Consume the body of a raw string whose opener (`r#…#"`) was consumed;
+/// closes on `"` followed by `hashes` `#`s.
+fn lex_raw_string_body(cur: &mut Cursor<'_>, hashes: usize) {
+    while let Some(c) = cur.peek(0) {
+        if c == '"' {
+            let mut seen = 0;
+            while seen < hashes && cur.peek(1 + seen) == Some('#') {
+                seen += 1;
+            }
+            if seen == hashes {
+                cur.bump_n(1 + hashes);
+                return;
+            }
+        }
+        cur.bump();
+    }
+}
+
+/// Consume `'…'` from the opening quote, mirroring the legacy scanner's
+/// char-literal loop (skip escapes, close on the next `'`).
+fn lex_char_body(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.peek(0) {
+        if c == '\\' {
+            cur.bump_n(2);
+        } else if c == '\'' {
+            cur.bump();
+            return;
+        } else {
+            cur.bump();
+        }
+    }
+}
+
+/// Render `src` with comments and literal text blanked to spaces (line
+/// structure preserved), byte-for-byte identical to the legacy
+/// [`crate::lint::strip_comments_and_strings`]:
+///
+/// * comments and the quoted parts of every literal become spaces,
+///   newlines inside them survive (chars inside char literals always
+///   blank — a raw newline cannot occur there);
+/// * the `b` prefix of `b"…"`, `br"…"`, and `b'…'` stays (the legacy
+///   scanner treated it as code);
+/// * a lifetime keeps its identifier chars, only the `'` blanks.
+pub fn blank_non_code(src: &str) -> String {
+    let mut out = String::with_capacity(src.len());
+    for tok in lex(src) {
+        let text = tok.text(src);
+        match tok.kind {
+            TokKind::Whitespace
+            | TokKind::Ident
+            | TokKind::RawIdent
+            | TokKind::Num
+            | TokKind::Punct => out.push_str(text),
+            TokKind::LineComment | TokKind::BlockComment | TokKind::Str | TokKind::RawStr => {
+                blank_preserving_newlines(&mut out, text);
+            }
+            TokKind::ByteStr | TokKind::RawByteStr | TokKind::ByteChar => {
+                // The legacy scanner saw the `b` as plain code.
+                out.push('b');
+                let rest = &text[1..];
+                if tok.kind == TokKind::ByteChar {
+                    for _ in rest.chars() {
+                        out.push(' ');
+                    }
+                } else {
+                    blank_preserving_newlines(&mut out, rest);
+                }
+            }
+            TokKind::Char => {
+                for _ in text.chars() {
+                    out.push(' ');
+                }
+            }
+            TokKind::Lifetime => {
+                out.push(' ');
+                out.push_str(&text[1..]);
+            }
+        }
+    }
+    out
+}
+
+fn blank_preserving_newlines(out: &mut String, text: &str) {
+    for c in text.chars() {
+        out.push(if c == '\n' { '\n' } else { ' ' });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::strip_comments_and_strings;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src)
+            .into_iter()
+            .map(|t| t.kind)
+            .filter(|k| *k != TokKind::Whitespace)
+            .collect()
+    }
+
+    #[test]
+    fn lossless_tiling() {
+        let src = "fn f<'a>(x: &'a str) -> u32 { /* hi */ \"s\" .len() as u32 + 0x1f }\n";
+        let toks = lex(src);
+        let mut rebuilt = String::new();
+        let mut at = 0;
+        for t in &toks {
+            assert_eq!(t.start, at, "gap before {t:?}");
+            rebuilt.push_str(t.text(src));
+            at = t.end;
+        }
+        assert_eq!(at, src.len());
+        assert_eq!(rebuilt, src);
+    }
+
+    #[test]
+    fn literal_grammar_corners() {
+        assert_eq!(
+            kinds("r#\"raw \"q\" \"#"),
+            vec![TokKind::RawStr],
+            "raw string with hash"
+        );
+        assert_eq!(kinds("r#fn"), vec![TokKind::RawIdent]);
+        assert_eq!(kinds("b\"bytes\""), vec![TokKind::ByteStr]);
+        assert_eq!(kinds("br##\"x\"##"), vec![TokKind::RawByteStr]);
+        assert_eq!(kinds("b'x'"), vec![TokKind::ByteChar]);
+        assert_eq!(kinds("'x'"), vec![TokKind::Char]);
+        assert_eq!(kinds("'\\n'"), vec![TokKind::Char]);
+        assert_eq!(kinds("'static"), vec![TokKind::Lifetime]);
+        assert_eq!(
+            kinds("/* outer /* inner */ still */ x"),
+            vec![TokKind::BlockComment, TokKind::Ident]
+        );
+    }
+
+    #[test]
+    fn lifetime_vs_char_in_generics() {
+        let src = "fn f<'a>(c: char) -> bool { c == 'a' }";
+        let k = kinds(src);
+        assert!(k.contains(&TokKind::Lifetime));
+        assert!(k.contains(&TokKind::Char));
+    }
+
+    #[test]
+    fn token_lines_are_tracked() {
+        let src = "a\nbb\n  ccc";
+        let idents: Vec<(String, usize)> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| (t.text(src).to_string(), t.line))
+            .collect();
+        assert_eq!(
+            idents,
+            vec![
+                ("a".to_string(), 1),
+                ("bb".to_string(), 2),
+                ("ccc".to_string(), 3)
+            ]
+        );
+    }
+
+    /// Adversarial fixtures where a token-level scanner historically goes
+    /// wrong; the lexer-based blanking must agree with the legacy pass on
+    /// every one.
+    const ADVERSARIAL: &[&str] = &[
+        "",
+        "fn f() {}\n",
+        "let s = \"fn fake() { vec![] }\";\n",
+        "// fn commented() { Instant::now() }\n",
+        "/* fn a() {} /* nested */ fn b() {} */ fn real() {}\n",
+        "let r = r\"raw \\ no escape\";\n",
+        "let r = r#\"has \"quotes\" inside\"#;\n",
+        "let r = r##\"deep \"# nope\"##;\n",
+        "let b = b\"bytes\"; let br = br#\"raw bytes\"#;\n",
+        "let c = 'x'; let e = '\\''; let u = '\\u{41}'; let bc = b'\\n';\n",
+        "fn f<'a, 'b: 'a>(x: &'a str, y: &'b str) -> &'a str { x }\n",
+        "let unterminated = \"runs to eof",
+        "let unterminated_raw = r#\"runs to eof",
+        "/* unterminated comment fn f() {",
+        "let multi = \"line one\\\n  line two\";\n",
+        "let s = \"escaped quote \\\" and backslash \\\\\";\n",
+        "let raw_id = r#match; struct r#struct;\n",
+        "let µ = \"µs ↔ latency\"; // µs in comment\n",
+        "let hash_no_raw = r # \"not a raw string\";\n",
+        "let a = 1..10; let b = 0x1f_u64; let c = 1e3; let d = 1.5;\n",
+        "'l: loop { break 'l; }\n",
+        "let q = '\"'; let s = \"it's fine\";\n",
+    ];
+
+    #[test]
+    fn blanking_matches_legacy_on_adversarial_fixtures() {
+        for (i, src) in ADVERSARIAL.iter().enumerate() {
+            assert_eq!(
+                blank_non_code(src),
+                strip_comments_and_strings(src),
+                "fixture {i}: {src:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_fixtures_lex_losslessly() {
+        for (i, src) in ADVERSARIAL.iter().enumerate() {
+            let rebuilt: String = lex(src).iter().map(|t| t.text(src)).collect();
+            assert_eq!(&rebuilt, src, "fixture {i}");
+        }
+    }
+
+    /// Differential proptest: random concatenations of code fragments must
+    /// blank identically under both scanners and lex losslessly.
+    mod differential {
+        use super::*;
+        use proptest::prelude::*;
+
+        const FRAGMENTS: &[&str] = &[
+            "fn f() { g(); }\n",
+            "let x = 1;\n",
+            "\"str with ' quote\"",
+            "\"esc \\\" \\\\ \"",
+            "r\"raw\"",
+            "r#\"raw # \"q\" \"#",
+            "// line comment fn fake()\n",
+            "/* block */",
+            "/* nested /* deep */ out */",
+            "'c'",
+            "'\\n'",
+            "b'x'",
+            "b\"bytes\"",
+            "br#\"rb\"#",
+            "<'a>",
+            "&'static str",
+            "r#fn",
+            " ",
+            "\n",
+            "{ } ( ) [ ] :: -> => . , ;",
+            "0x1f 1_000u64 1.5 1e3",
+            "µs ↔ π",
+            "x.clone()",
+            "vec![1, 2]",
+        ];
+
+        proptest! {
+            #[test]
+            fn blanking_matches_legacy(picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..24)) {
+                let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+                prop_assert_eq!(blank_non_code(&src), strip_comments_and_strings(&src));
+            }
+
+            #[test]
+            fn lexing_is_lossless(picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..24)) {
+                let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+                let rebuilt: String = lex(&src).iter().map(|t| t.text(&src)).collect();
+                prop_assert_eq!(rebuilt, src);
+            }
+        }
+    }
+}

@@ -2,13 +2,17 @@
 //!
 //! The correctness-tooling layer of the suite, in two halves:
 //!
-//! 1. **Source-level determinism lint** ([`lint`]): a token-level scan of
-//!    the workspace that rejects the hazard classes that can silently break
-//!    the campaign's bit-identical-output guarantee (wall-clock reads,
-//!    unseeded RNG, hash-ordered rendering, ambient env reads, unjustified
-//!    `unsafe`, panics in simulated runtimes). Run it with
-//!    `cargo run -p dessan --bin dessan-lint`; existing justified sites are
-//!    grandfathered one-per-line in `dessan.toml`.
+//! 1. **Source-level determinism lint** ([`lint`]): a syntax-aware scan of
+//!    the workspace — a lossless lexer ([`lex`]), an item-level parser
+//!    ([`items`]), and a heuristic call graph ([`callgraph`]) — that
+//!    rejects the hazard classes that can silently break the campaign's
+//!    bit-identical-output guarantee (wall-clock reads, unseeded RNG,
+//!    hash-ordered rendering, ambient env reads, unjustified `unsafe`,
+//!    panics in simulated runtimes, and allocations in or transitively
+//!    reachable from `// doebench::hot` functions). Run it with
+//!    `cargo run -p dessan --bin dessan-lint`; justified sites carry
+//!    in-source `dessan::allow(<rule>): <reason>` waivers next to the
+//!    code they excuse.
 //!
 //! 2. **Dynamic happens-before sanitizer** ([`checks`], [`vc`]): vector
 //!    clocks attached to ompsim threads, mpisim ranks, and gpurt
@@ -19,7 +23,10 @@
 //!    without perturbing simulated time, so checked runs render
 //!    byte-identical tables.
 
+pub mod callgraph;
 pub mod checks;
+pub mod items;
+pub mod lex;
 pub mod lint;
 pub mod vc;
 

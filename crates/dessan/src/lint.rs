@@ -1,32 +1,43 @@
 //! The source-level determinism lint.
 //!
-//! A token-level scan (no external parser) over the workspace's `.rs`
-//! files, in the same spirit as the vendored dependency shims: strip
-//! comments and string literals, then look for the textual shapes of the
-//! hazards that can silently break the suite's bit-identical-output
-//! guarantee. Seven rule classes:
+//! Since dessan v2 this is a syntax-aware scan: files are tokenized by the
+//! hand-rolled lossless lexer ([`crate::lex`]), structured into fn/impl/
+//! test-region items with line spans ([`crate::items`]), and linked into a
+//! workspace call graph ([`crate::callgraph`]). Eight rule classes:
 //!
-//! | id               | hazard                                              |
-//! |------------------|-----------------------------------------------------|
-//! | `wall-clock`     | `std::time::{Instant,SystemTime}` in simulated code |
-//! | `ad-hoc-rng`     | `thread_rng` / `rand::random` outside `SimRng`      |
-//! | `hash-order`     | `HashMap`/`HashSet` in report/table/render paths    |
-//! | `env-read`       | `std::env::var` outside `config`/`cli` modules      |
-//! | `unsafe-no-safety` | `unsafe` without a nearby `// SAFETY:` comment    |
-//! | `unwrap-in-sim`  | `unwrap()`/`expect()` in sim-crate non-test code    |
-//! | `hot-path-alloc` | per-call allocation in a `doebench::hot` function   |
+//! | id                        | hazard                                              |
+//! |---------------------------|-----------------------------------------------------|
+//! | `wall-clock`              | `std::time::{Instant,SystemTime}` in simulated code |
+//! | `ad-hoc-rng`              | `thread_rng` / `rand::random` outside `SimRng`      |
+//! | `hash-order`              | `HashMap`/`HashSet` in report/table/render paths    |
+//! | `env-read`                | `std::env::var` outside `config`/`cli` modules      |
+//! | `unsafe-no-safety`        | `unsafe` without a nearby `// SAFETY:` comment      |
+//! | `unwrap-in-sim`           | `unwrap()`/`expect()` in sim-crate non-test code    |
+//! | `hot-path-alloc`          | per-call allocation in a `doebench::hot` function   |
+//! | `hot-path-alloc-transitive` | allocation reachable from a hot fn via the call graph |
 //!
-//! A function becomes hot by carrying a `doebench::hot` marker on the line
-//! before (or on) its `fn`, or by a `hot-fn path fn-name` line in
+//! A function becomes hot by carrying a `doebench::hot` marker comment
+//! before (or on) its `fn` line, or by a `hot-fn path fn-name` line in
 //! `dessan.toml`. Inside a hot body, `Box::new`, `vec!`, `format!`,
 //! `.to_string()`, `.to_owned()` and `.clone()` are flagged
-//! (`.clone_from(...)` reuses its destination buffer and is fine).
+//! (`.clone_from(...)` reuses its destination buffer and is fine), and the
+//! transitive rule follows calls out of the hot body to allocations any
+//! depth away (`// doebench::cold-call` cuts an edge, `#[cold]` a callee).
 //!
-//! Existing justified sites are grandfathered through `dessan.toml` — one
-//! `rule path` pair per line — so the gate can only ratchet tighter.
+//! Justified sites are waived *in source*, next to the code they excuse:
+//! `// dessan::allow(<rule>): <reason>` on the offending line or the line
+//! above, or `//! dessan::allow(<rule>): <reason>` for a whole file. The
+//! reason is mandatory. `dessan.toml` keeps only `hot-fn` designations;
+//! any grandfather entry left unused there is a hard error, so the gate
+//! only ratchets tighter.
 
+use std::collections::BTreeSet;
 use std::fmt;
 use std::path::Path;
+
+use crate::callgraph::{self, WsFile};
+use crate::items;
+use crate::lex;
 
 /// The crates whose non-test code must be panic-free (`unwrap-in-sim`).
 const SIM_CRATES: [&str; 7] = [
@@ -50,10 +61,12 @@ pub enum Rule {
     UnwrapInSim,
     /// Per-call heap allocation inside a `doebench::hot` function.
     HotPathAlloc,
+    /// Allocation reachable from a hot function through the call graph.
+    HotPathAllocTransitive,
 }
 
 impl Rule {
-    /// The stable identifier used in reports and `dessan.toml`.
+    /// The stable identifier used in reports, waivers, and `dessan.toml`.
     pub fn id(self) -> &'static str {
         match self {
             Rule::WallClock => "wall-clock",
@@ -63,11 +76,12 @@ impl Rule {
             Rule::UnsafeNoSafety => "unsafe-no-safety",
             Rule::UnwrapInSim => "unwrap-in-sim",
             Rule::HotPathAlloc => "hot-path-alloc",
+            Rule::HotPathAllocTransitive => "hot-path-alloc-transitive",
         }
     }
 
     /// Every rule, in report order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::WallClock,
         Rule::AdHocRng,
         Rule::HashOrder,
@@ -75,7 +89,16 @@ impl Rule {
         Rule::UnsafeNoSafety,
         Rule::UnwrapInSim,
         Rule::HotPathAlloc,
+        Rule::HotPathAllocTransitive,
     ];
+
+    /// Position in [`Rule::ALL`], for stable report ordering.
+    fn order(self) -> usize {
+        Rule::ALL
+            .iter()
+            .position(|r| *r == self)
+            .unwrap_or(usize::MAX)
+    }
 }
 
 /// One lint violation.
@@ -105,7 +128,9 @@ impl fmt::Display for LintFinding {
 }
 
 /// Replace comments and string/char literals with spaces, preserving line
-/// structure, so rules match code tokens only. Returns the blanked text.
+/// structure. This is the legacy v1 scanner, kept verbatim as the
+/// differential-testing oracle for [`crate::lex::blank_non_code`] — the
+/// rules themselves no longer use it.
 pub fn strip_comments_and_strings(src: &str) -> String {
     #[derive(PartialEq)]
     enum St {
@@ -266,151 +291,6 @@ pub fn strip_comments_and_strings(src: &str) -> String {
     out
 }
 
-/// Per-line flags marking `#[cfg(test)]` regions (attribute line included),
-/// computed by brace counting over the comment-stripped text.
-fn test_region_lines(code: &str) -> Vec<bool> {
-    let mut flags = Vec::new();
-    let mut depth: i64 = 0;
-    let mut pending = false;
-    let mut region_start: Option<i64> = None;
-    for line in code.lines() {
-        if region_start.is_none() && line.contains("#[cfg(test)]") {
-            pending = true;
-        }
-        let starts_in_region = region_start.is_some() || pending;
-        for c in line.chars() {
-            match c {
-                '{' => {
-                    depth += 1;
-                    if pending {
-                        region_start = Some(depth);
-                        pending = false;
-                    }
-                }
-                '}' => {
-                    depth -= 1;
-                    if let Some(s) = region_start {
-                        if depth < s {
-                            region_start = None;
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-        flags.push(starts_in_region || region_start.is_some() || pending);
-    }
-    flags
-}
-
-/// Allocation tokens the `hot-path-alloc` rule rejects in hot bodies.
-/// `.clone()` is matched literally with its empty argument list, so the
-/// buffer-reusing `.clone_from(...)` never trips it.
-const HOT_ALLOC_TOKENS: [&str; 6] = [
-    "Box::new",
-    "vec!",
-    "format!",
-    ".to_string()",
-    ".to_owned()",
-    ".clone()",
-];
-
-/// Per-line flags marking the bodies of hot functions, computed by brace
-/// counting over the comment-stripped text.
-///
-/// A function is hot when the line of its `fn` keyword, or the line just
-/// before it, mentions `doebench::hot` in the *original* source (the
-/// marker normally lives in a comment, which stripping blanks), or when
-/// its name appears in `extra_hot` (the file's `hot-fn` designations from
-/// `dessan.toml`).
-fn hot_region_lines(original: &[&str], code: &str, extra_hot: &[String]) -> Vec<bool> {
-    let mut flags = Vec::new();
-    let mut depth: i64 = 0;
-    // Saw a marker; arms the next `fn` line.
-    let mut armed = false;
-    // Inside a hot fn's signature, waiting for its opening brace.
-    let mut in_sig = false;
-    // Brace depth of the hot body currently open, if any.
-    let mut region_start: Option<i64> = None;
-    for (idx, line) in code.lines().enumerate() {
-        if region_start.is_none() && !in_sig {
-            // Only the comment and attribute spellings arm the rule, so
-            // prose *about* the marker (e.g. lint messages) does not.
-            if original
-                .get(idx)
-                .is_some_and(|l| l.contains("// doebench::hot") || l.contains("#[doebench::hot]"))
-            {
-                armed = true;
-            }
-            if contains_word(line, "fn") {
-                let named = extra_hot.iter().any(|f| {
-                    line.split("fn ").skip(1).any(|rest| {
-                        let rest = rest.trim_start();
-                        rest.starts_with(f.as_str())
-                            && !rest[f.len()..]
-                                .chars()
-                                .next()
-                                .is_some_and(|c| c.is_alphanumeric() || c == '_')
-                    })
-                });
-                if armed || named {
-                    in_sig = true;
-                }
-                armed = false;
-            }
-        }
-        // Latch: a one-line hot fn opens and closes its body within this
-        // line; it must still be flagged hot.
-        let mut hot_this_line = region_start.is_some() || in_sig;
-        for c in line.chars() {
-            match c {
-                '{' => {
-                    depth += 1;
-                    if in_sig {
-                        region_start = Some(depth);
-                        in_sig = false;
-                        hot_this_line = true;
-                    }
-                }
-                '}' => {
-                    depth -= 1;
-                    if let Some(s) = region_start {
-                        if depth < s {
-                            region_start = None;
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-        flags.push(hot_this_line || region_start.is_some() || in_sig);
-    }
-    flags
-}
-
-/// True when `needle` occurs in `hay` bounded by non-identifier characters.
-fn contains_word(hay: &str, needle: &str) -> bool {
-    let mut from = 0;
-    while let Some(pos) = hay[from..].find(needle) {
-        let start = from + pos;
-        let end = start + needle.len();
-        let left_ok = start == 0
-            || !hay[..start]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        let right_ok = !hay[end..]
-            .chars()
-            .next()
-            .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if left_ok && right_ok {
-            return true;
-        }
-        from = end;
-    }
-    false
-}
-
 /// The crate a workspace-relative path belongs to (`crates/<name>/…`).
 fn crate_of(path: &str) -> Option<&str> {
     let rest = path.strip_prefix("crates/")?;
@@ -436,6 +316,7 @@ fn is_output_path(path: &str) -> bool {
 
 /// Lint one file's source text. `path` must be workspace-relative
 /// (`crates/<crate>/src/...`) so crate- and module-scoped rules resolve.
+/// Workspace-level rules (`hot-path-alloc-transitive`) run in [`run`].
 pub fn lint_file(path: &str, src: &str) -> Vec<LintFinding> {
     lint_file_with_hot(path, src, &[])
 }
@@ -443,134 +324,197 @@ pub fn lint_file(path: &str, src: &str) -> Vec<LintFinding> {
 /// [`lint_file`] with extra hot-function designations for this file
 /// (the `hot-fn` lines of `dessan.toml`, marker comments aside).
 pub fn lint_file_with_hot(path: &str, src: &str, extra_hot: &[String]) -> Vec<LintFinding> {
-    let code = strip_comments_and_strings(src);
-    let test_lines = test_region_lines(&code);
+    let tokens = lex::lex(src);
+    let its = items::parse(src, &tokens, extra_hot);
+    lint_parsed(path, src, &tokens, &its)
+}
+
+/// The per-file rules, over an already-lexed and parsed file.
+fn lint_parsed(
+    path: &str,
+    src: &str,
+    tokens: &[lex::Token],
+    its: &items::FileItems,
+) -> Vec<LintFinding> {
     let krate = crate_of(path).unwrap_or("");
     let stem = stem_of(path);
     let in_sim_crate = SIM_CRATES.contains(&krate);
     let env_exempt = krate == "cli" || matches!(stem, "config" | "env" | "cli");
     let output_path = is_output_path(path);
     let original_lines: Vec<&str> = src.lines().collect();
-    let hot_lines = hot_region_lines(&original_lines, &code, extra_hot);
+
+    // Code-token text/line streams for sequence matching.
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| tokens[i].kind.is_code())
+        .collect();
+    let texts: Vec<&str> = code.iter().map(|&i| tokens[i].text(src)).collect();
+    let tok_lines: Vec<usize> = code.iter().map(|&i| tokens[i].line).collect();
+    // Lines where the code-token sequence `pattern` starts (`::` written
+    // as two `:` entries — the lexer emits single-char punctuation).
+    let seq_lines = |pattern: &[&str]| -> BTreeSet<usize> {
+        let mut lines = BTreeSet::new();
+        if texts.len() >= pattern.len() {
+            for k in 0..=texts.len() - pattern.len() {
+                if (0..pattern.len()).all(|j| texts[k + j] == pattern[j]) {
+                    lines.insert(tok_lines[k]);
+                }
+            }
+        }
+        lines
+    };
+    let in_test = |line: usize| its.test_lines.get(line - 1).copied().unwrap_or(false);
 
     let mut findings = Vec::new();
-    let mut push = |rule, line, message: String| {
-        findings.push(LintFinding {
-            rule,
-            path: path.to_string(),
-            line,
-            message,
-        });
+    let mut push = |rule: Rule, line: usize, message: String| {
+        if !its.waived(rule.id(), line) {
+            findings.push(LintFinding {
+                rule,
+                path: path.to_string(),
+                line,
+                message,
+            });
+        }
     };
 
-    for (idx, cl) in code.lines().enumerate() {
-        let lineno = idx + 1;
-        let in_test = test_lines.get(idx).copied().unwrap_or(false);
-
-        // wall-clock: reading host time inside simulated/deterministic code.
-        for pat in [
+    // wall-clock: reading host time inside simulated/deterministic code.
+    // One finding per line, first pattern wins.
+    let mut claimed = BTreeSet::new();
+    for (disp, pat) in [
+        (
             "std::time::Instant",
+            &["std", ":", ":", "time", ":", ":", "Instant"][..],
+        ),
+        (
             "std::time::SystemTime",
-            "Instant::now",
-            "SystemTime::now",
-        ] {
-            if cl.contains(pat) {
+            &["std", ":", ":", "time", ":", ":", "SystemTime"][..],
+        ),
+        ("Instant::now", &["Instant", ":", ":", "now"][..]),
+        ("SystemTime::now", &["SystemTime", ":", ":", "now"][..]),
+    ] {
+        for line in seq_lines(pat) {
+            if claimed.insert(line) {
                 push(
                     Rule::WallClock,
-                    lineno,
-                    format!("wall-clock read `{pat}` breaks run-to-run determinism; use simulated time (`SimTime`) or grandfather native-measurement code in dessan.toml"),
+                    line,
+                    format!("wall-clock read `{disp}` breaks run-to-run determinism; use simulated time (`SimTime`) or waive native-measurement code with `// dessan::allow(wall-clock): <reason>`"),
                 );
-                break;
             }
         }
+    }
 
-        // ad-hoc-rng: randomness not derived from the campaign seed.
-        for pat in ["thread_rng", "rand::random"] {
-            if cl.contains(pat) {
+    // ad-hoc-rng: randomness not derived from the campaign seed.
+    let mut claimed = BTreeSet::new();
+    for (disp, pat) in [
+        ("thread_rng", &["thread_rng"][..]),
+        ("rand::random", &["rand", ":", ":", "random"][..]),
+    ] {
+        for line in seq_lines(pat) {
+            if claimed.insert(line) {
                 push(
                     Rule::AdHocRng,
-                    lineno,
-                    format!("unseeded randomness `{pat}`; derive a stream from `SimRng` instead"),
+                    line,
+                    format!("unseeded randomness `{disp}`; derive a stream from `SimRng` instead"),
                 );
-                break;
             }
         }
+    }
 
-        // hash-order: nondeterministic iteration order in rendered output.
-        if output_path {
-            for pat in ["HashMap", "HashSet"] {
-                if contains_word(cl, pat) {
+    // hash-order: nondeterministic iteration order in rendered output.
+    if output_path {
+        let mut claimed = BTreeSet::new();
+        for pat in ["HashMap", "HashSet"] {
+            for line in seq_lines(&[pat]) {
+                if claimed.insert(line) {
                     push(
                         Rule::HashOrder,
-                        lineno,
+                        line,
                         format!("`{pat}` in an output path; iteration order is unspecified — use `BTreeMap`/`BTreeSet` or sort explicitly"),
                     );
-                    break;
-                }
-            }
-        }
-
-        // env-read: ambient configuration outside config/cli modules.
-        if !env_exempt && (cl.contains("env::var") || cl.contains("env::vars")) {
-            push(
-                Rule::EnvRead,
-                lineno,
-                "environment read outside a config/cli module makes behaviour depend on ambient state".to_string(),
-            );
-        }
-
-        // unsafe-no-safety: every unsafe site needs a written justification.
-        if contains_word(cl, "unsafe") {
-            let window_start = idx.saturating_sub(3);
-            let justified = original_lines[window_start..=idx.min(original_lines.len() - 1)]
-                .iter()
-                .any(|l| l.contains("SAFETY:") || l.contains("# Safety"));
-            if !justified {
-                push(
-                    Rule::UnsafeNoSafety,
-                    lineno,
-                    "`unsafe` without a `// SAFETY:` comment within the preceding 3 lines"
-                        .to_string(),
-                );
-            }
-        }
-
-        // unwrap-in-sim: sim-crate non-test code must propagate errors.
-        if in_sim_crate && !in_test {
-            for pat in [".unwrap()", ".expect("] {
-                if cl.contains(pat) {
-                    push(
-                        Rule::UnwrapInSim,
-                        lineno,
-                        format!("`{pat}` in non-test code of a simulated runtime crate; return a typed error instead"),
-                    );
-                    break;
-                }
-            }
-        }
-
-        // hot-path-alloc: the steady-state event/message path must not
-        // touch the allocator — that's what the arenas/pools are for.
-        if !in_test && hot_lines.get(idx).copied().unwrap_or(false) {
-            for pat in HOT_ALLOC_TOKENS {
-                if cl.contains(pat) {
-                    push(
-                        Rule::HotPathAlloc,
-                        lineno,
-                        format!("`{pat}` allocates per call inside a `doebench::hot` function; hoist it into an arena/pool/scratch buffer or a `#[cold]` helper"),
-                    );
-                    break;
                 }
             }
         }
     }
+
+    // env-read: ambient configuration outside config/cli modules.
+    if !env_exempt {
+        let mut lines: BTreeSet<usize> = seq_lines(&["env", ":", ":", "var"]);
+        lines.extend(seq_lines(&["env", ":", ":", "vars"]));
+        for line in lines {
+            push(
+                Rule::EnvRead,
+                line,
+                "environment read outside a config/cli module makes behaviour depend on ambient state".to_string(),
+            );
+        }
+    }
+
+    // unsafe-no-safety: every unsafe site needs a written justification
+    // within the preceding 3 lines.
+    for line in seq_lines(&["unsafe"]) {
+        let idx = line - 1;
+        let window_start = idx.saturating_sub(3);
+        let justified = original_lines
+            .get(window_start..=idx.min(original_lines.len().saturating_sub(1)))
+            .unwrap_or(&[])
+            .iter()
+            .any(|l| l.contains("SAFETY:") || l.contains("# Safety"));
+        if !justified {
+            push(
+                Rule::UnsafeNoSafety,
+                line,
+                "`unsafe` without a `// SAFETY:` comment within the preceding 3 lines".to_string(),
+            );
+        }
+    }
+
+    // unwrap-in-sim: sim-crate non-test code must propagate errors.
+    if in_sim_crate {
+        let mut claimed = BTreeSet::new();
+        for (disp, pat) in [
+            (".unwrap()", &[".", "unwrap", "("][..]),
+            (".expect(", &[".", "expect", "("][..]),
+        ] {
+            for line in seq_lines(pat) {
+                if !in_test(line) && claimed.insert(line) {
+                    push(
+                        Rule::UnwrapInSim,
+                        line,
+                        format!("`{disp}` in non-test code of a simulated runtime crate; return a typed error instead"),
+                    );
+                }
+            }
+        }
+    }
+
+    // hot-path-alloc: the steady-state event/message path must not touch
+    // the allocator — that's what the arenas/pools are for. Span-based:
+    // one-line hot fns and nested closures are covered by construction.
+    let mut claimed = BTreeSet::new();
+    for f in &its.fns {
+        if !f.hot || f.in_test || f.body_tokens.is_empty() {
+            continue;
+        }
+        for a in callgraph::body_allocs(src, tokens, f.body_tokens.clone()) {
+            if claimed.insert(a.line) {
+                push(
+                    Rule::HotPathAlloc,
+                    a.line,
+                    format!("`{}` allocates per call inside a `doebench::hot` function; hoist it into an arena/pool/scratch buffer or a `#[cold]` helper", a.token),
+                );
+            }
+        }
+    }
+
+    findings.sort_by_key(|f| (f.line, f.rule.order()));
     findings
 }
 
-/// The grandfather allowlist: `rule path` pairs, one per line, `#` comments.
-/// `hot-fn path fn-name` lines are not grandfathers — they *designate*
-/// additional hot functions for the `hot-path-alloc` rule, equivalent to a
-/// `doebench::hot` marker at the function's definition.
+/// The allowlist at `dessan.toml`: `hot-fn path fn-name` designation lines
+/// plus (legacy) `rule path` grandfather pairs, `#` comments allowed.
+///
+/// Grandfather pairs still parse and apply so the ratchet can report them:
+/// an entry that matches nothing is a hard error in the CLI, and new
+/// waivers belong in source (`// dessan::allow(...)`), not here.
 #[derive(Debug, Default)]
 pub struct Allowlist {
     entries: Vec<(String, String)>,
@@ -644,8 +588,8 @@ impl Allowlist {
         false
     }
 
-    /// Entries that never matched a finding — candidates for deletion, so
-    /// the allowlist only shrinks over time.
+    /// Entries that never matched a finding — dead weight that must be
+    /// deleted (the CLI fails on them), so the allowlist only shrinks.
     pub fn unused(&self) -> Vec<(String, String)> {
         self.entries
             .iter()
@@ -670,7 +614,7 @@ pub struct LintReport {
 }
 
 impl LintReport {
-    /// Zero exit code?
+    /// Zero exit code? (The CLI additionally fails on `unused_allows`.)
     pub fn is_clean(&self) -> bool {
         self.findings.is_empty()
     }
@@ -694,8 +638,9 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::R
     Ok(())
 }
 
-/// Lint every `crates/*/src/**/*.rs` under `root`, applying the allowlist
-/// at `root/dessan.toml` if present.
+/// Lint every `crates/*/src/**/*.rs` under `root`: the per-file rules,
+/// then the workspace-level transitive hot-path-alloc walk, applying the
+/// allowlist at `root/dessan.toml` if present.
 pub fn run(root: &Path) -> std::io::Result<LintReport> {
     let allow_text = match std::fs::read_to_string(root.join("dessan.toml")) {
         Ok(t) => t,
@@ -715,6 +660,8 @@ pub fn run(root: &Path) -> std::io::Result<LintReport> {
     crate_dirs.sort();
 
     let mut report = LintReport::default();
+    let mut ws: Vec<WsFile> = Vec::new();
+    let mut raw_findings = Vec::new();
     for cd in crate_dirs {
         let src = cd.join("src");
         if !src.is_dir() {
@@ -731,13 +678,19 @@ pub fn run(root: &Path) -> std::io::Result<LintReport> {
             let text = std::fs::read_to_string(&f)?;
             report.files += 1;
             let hot = allow.hot_fns_for(&rel);
-            for finding in lint_file_with_hot(&rel, &text, &hot) {
-                if allow.permits(&finding) {
-                    report.allowed += 1;
-                } else {
-                    report.findings.push(finding);
-                }
-            }
+            let file = callgraph::ws_file(&rel, &text, &hot);
+            raw_findings.extend(lint_parsed(&rel, &text, &file.tokens, &file.items));
+            ws.push(file);
+        }
+    }
+    raw_findings.extend(callgraph::transitive_findings(&ws));
+    raw_findings
+        .sort_by(|a, b| (&a.path, a.line, a.rule.order()).cmp(&(&b.path, b.line, b.rule.order())));
+    for finding in raw_findings {
+        if allow.permits(&finding) {
+            report.allowed += 1;
+        } else {
+            report.findings.push(finding);
         }
     }
     report.unused_allows = allow.unused();
@@ -845,10 +798,8 @@ mod tests {
     #[test]
     fn lifetimes_do_not_confuse_the_scanner() {
         let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nfn g() { let t = std::time::Instant::now(); let _ = t; }\n";
-        assert_eq!(
-            rules_of("crates/foo/src/lib.rs", src),
-            vec![Rule::WallClock]
-        );
+        let r = rules_of("crates/foo/src/lib.rs", src);
+        assert_eq!(r, vec![Rule::WallClock]);
     }
 
     #[test]
@@ -900,6 +851,88 @@ fn slow(&mut self) {
         assert_eq!(rules_of("crates/foo/src/lib.rs", src), vec![]);
     }
 
+    // Regression tests for the v1 `hot_region_lines` latch bug class: the
+    // old brace-counting latch lost track of one-line bodies and of `fn`
+    // keywords that only existed inside literals.
+
+    #[test]
+    fn one_line_hot_fn_is_flagged() {
+        let src = "// doebench::hot\nfn fast() -> Vec<u8> { vec![0u8; 8] }\n";
+        let f = lint_file("crates/foo/src/lib.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::HotPathAlloc);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn nested_closures_inside_hot_fn_stay_hot() {
+        let src = "\
+// doebench::hot
+fn pump(xs: &[u32]) {
+    xs.iter().for_each(|x| {
+        let label = format!(\"{x}\");
+        let _ = label;
+    });
+}
+";
+        let f = lint_file("crates/foo/src/lib.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::HotPathAlloc);
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn fn_keyword_in_string_does_not_end_hot_region() {
+        let src = "\
+// doebench::hot
+fn fast() {
+    let s = \"} fn decoy() {\";
+    let v = vec![1];
+    let _ = (s, v);
+}
+fn cool() {
+    let v = vec![2];
+    let _ = v;
+}
+";
+        let f = lint_file("crates/foo/src/lib.rs", src);
+        // Only the real hot body's allocation fires; the decoy string
+        // neither ends the hot region nor starts a new fn.
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn fn_keyword_in_comment_tail_does_not_open_an_item() {
+        let src = "\
+// doebench::hot
+fn fast() { // closes like fn ghost() {
+    let v = vec![1];
+    let _ = v;
+}
+";
+        let f = lint_file("crates/foo/src/lib.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn in_source_waiver_suppresses_with_reason_only() {
+        let with_reason = "// dessan::allow(wall-clock): native backend measures real elapsed time.\nfn f() { let t = std::time::Instant::now(); let _ = t; }\n";
+        assert_eq!(rules_of("crates/foo/src/lib.rs", with_reason), vec![]);
+        let reasonless = "// dessan::allow(wall-clock):\nfn f() { let t = std::time::Instant::now(); let _ = t; }\n";
+        assert_eq!(
+            rules_of("crates/foo/src/lib.rs", reasonless),
+            vec![Rule::WallClock]
+        );
+    }
+
+    #[test]
+    fn file_level_waiver_covers_every_site() {
+        let src = "//! dessan::allow(unwrap-in-sim): panics are this module's documented contract.\nfn f(x: Option<u32>) { x.unwrap(); }\nfn g(y: Option<u32>) { y.unwrap(); }\n";
+        assert_eq!(rules_of("crates/simtime/src/time.rs", src), vec![]);
+    }
+
     #[test]
     fn allowlist_parses_hot_fn_lines() {
         let allow =
@@ -939,6 +972,11 @@ fn slow(&mut self) {
     }
 
     #[test]
+    fn allowlist_accepts_the_transitive_rule_id() {
+        assert!(Allowlist::parse("hot-path-alloc-transitive crates/x/src/y.rs").is_ok());
+    }
+
+    #[test]
     fn run_flags_a_seeded_fixture_and_accepts_a_clean_tree() {
         let dir = std::env::temp_dir().join(format!("dessan-lint-fixture-{}", std::process::id()));
         let src = dir.join("crates/fix/src");
@@ -963,6 +1001,37 @@ fn slow(&mut self) {
         assert!(report.is_clean());
         assert_eq!(report.allowed, 2);
         assert!(report.unused_allows.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_reports_transitive_findings_across_files() {
+        let dir =
+            std::env::temp_dir().join(format!("dessan-transitive-fixture-{}", std::process::id()));
+        let src = dir.join("crates/fix/src");
+        std::fs::create_dir_all(&src).unwrap();
+        // Hot fn -> helper (other file) -> allocating helper, two levels.
+        std::fs::write(
+            src.join("lib.rs"),
+            "mod helpers;\n// doebench::hot\nfn pump() {\n    step();\n}\nfn step() {\n    crate::helpers::grow();\n}\n",
+        )
+        .unwrap();
+        std::fs::write(
+            src.join("helpers.rs"),
+            "pub fn grow() {\n    let v = vec![0u8; 64];\n    let _ = v;\n}\n",
+        )
+        .unwrap();
+        let report = run(&dir).unwrap();
+        let transitive: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::HotPathAllocTransitive)
+            .collect();
+        assert_eq!(transitive.len(), 1, "findings: {:?}", report.findings);
+        assert_eq!(transitive[0].path, "crates/fix/src/lib.rs");
+        assert_eq!(transitive[0].line, 4);
+        // The per-file token engine sees nothing in the hot body itself.
+        assert!(report.findings.iter().all(|f| f.rule != Rule::HotPathAlloc));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,96 @@
+//! Differential test of the syntax-aware lexer against the legacy
+//! token-level scanner, over the entire workspace corpus.
+//!
+//! Every `.rs` file in the repository (sources, tests, benches, the
+//! vendored shims) must (a) lex losslessly and (b) blank identically under
+//! [`dessan::lex::blank_non_code`] and the legacy
+//! [`dessan::lint::strip_comments_and_strings`]. Running over the real
+//! corpus — not just fixtures — is what keeps the two scanners from
+//! drifting apart as the codebase grows.
+
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // crates/dessan -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .to_path_buf()
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            // `target` holds build products, not corpus.
+            if p.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+fn corpus() -> Vec<(PathBuf, String)> {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    for sub in ["crates", "vendor", "tests", "benchmarks"] {
+        collect_rs(&root.join(sub), &mut files);
+    }
+    assert!(
+        files.len() > 50,
+        "corpus unexpectedly small ({} files) — wrong root?",
+        files.len()
+    );
+    files
+        .into_iter()
+        .map(|p| {
+            let text = std::fs::read_to_string(&p).expect("readable source");
+            (p, text)
+        })
+        .collect()
+}
+
+#[test]
+fn whole_corpus_lexes_losslessly() {
+    for (path, src) in corpus() {
+        let rebuilt: String = dessan::lex::lex(&src)
+            .iter()
+            .map(|t| t.text(&src))
+            .collect();
+        assert_eq!(
+            rebuilt,
+            src,
+            "lossless lexing failed for {}",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn whole_corpus_blanks_identically_under_both_scanners() {
+    for (path, src) in corpus() {
+        let new = dessan::lex::blank_non_code(&src);
+        let old = dessan::lint::strip_comments_and_strings(&src);
+        if new != old {
+            // Locate the first diverging line for a readable failure.
+            for (i, (a, b)) in new.lines().zip(old.lines()).enumerate() {
+                assert_eq!(
+                    a,
+                    b,
+                    "{}: scanners diverge at line {}",
+                    path.display(),
+                    i + 1
+                );
+            }
+            panic!("{}: scanners diverge in length", path.display());
+        }
+    }
+}

@@ -617,7 +617,11 @@ impl GpuRuntime {
         if let Some(ch) = &mut self.checks {
             let key = (s.device.index(), s.idx);
             ch.submit(key);
+            // Checked runs are diagnostic, not measured: the sanitizer's
+            // label/history allocations are off the campaign's hot path.
+            // doebench::cold-call
             ch.access(src, AccessKind::Read, key, "memcpy read");
+            // doebench::cold-call
             ch.access(dst, AccessKind::Write, key, "memcpy write");
         }
         Ok(())

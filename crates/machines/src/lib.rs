@@ -30,6 +30,7 @@ pub mod machine;
 pub mod nvidia;
 pub mod paper;
 pub mod software;
+pub mod units;
 
 pub use machine::{Machine, MachineCategory};
 pub use software::SoftwareEnv;

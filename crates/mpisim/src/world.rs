@@ -21,8 +21,13 @@ pub enum MpiError {
     InvalidRank(usize),
     /// The core a rank was placed on does not exist.
     InvalidCore(CoreId),
-    /// The topology offers no path between the endpoints.
-    NoPath(String),
+    /// The topology offers no path between the endpoint ranks.
+    NoPath {
+        /// Sending rank.
+        from: usize,
+        /// Receiving rank.
+        to: usize,
+    },
     /// `recv` found no matching message (protocol misuse in the driver).
     NoMatchingMessage {
         /// Receiving rank.
@@ -41,7 +46,7 @@ impl std::fmt::Display for MpiError {
         match self {
             MpiError::InvalidRank(r) => write!(f, "invalid rank {r}"),
             MpiError::InvalidCore(c) => write!(f, "invalid core {c}"),
-            MpiError::NoPath(s) => write!(f, "no path: {s}"),
+            MpiError::NoPath { from, to } => write!(f, "no path: rank {from} -> rank {to}"),
             MpiError::NoMatchingMessage { to, from } => {
                 write!(f, "rank {to} has no pending message from rank {from}")
             }
@@ -378,7 +383,7 @@ impl MpiSim {
         let (tn, tb) = (self.ranks[to].numa, self.ranks[to].buffer);
         let mut path =
             resolve_path_cached(&self.topo, &mut self.routes, &self.cfg, fn_, fb, tn, tb)
-                .ok_or_else(|| MpiError::NoPath(format!("rank {from} -> rank {to}")))?;
+                .ok_or(MpiError::NoPath { from, to })?;
         let fi = &self.ranks[from];
         let ti = &self.ranks[to];
         // On-die mesh distance for same-domain host pairs (Xeon Phi's

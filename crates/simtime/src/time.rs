@@ -4,6 +4,9 @@
 //! between two points. Both wrap a `u64` count of picoseconds, which gives
 //! ~213 days of range — far beyond any microbenchmark campaign — while
 //! keeping arithmetic exact (no float drift in long accumulation loops).
+//!
+//! dessan::allow(unwrap-in-sim): overflow panics are the documented arithmetic contract;
+//! returning Results would poison every timing expression in the workspace.
 
 use std::fmt;
 use std::iter::Sum;
