@@ -68,9 +68,14 @@ struct GpuChecks {
     streams: Vec<Vec<Option<(usize, VectorClock)>>>,
     next_clock_idx: usize,
     /// Stream-clock snapshots of recorded events; event id `n` lives at
-    /// index `n - 1` (ids are handed out sequentially from 1; 0 means
-    /// untracked).
+    /// index `n - 1` (0 means untracked). Slots are pooled: releasing an
+    /// event returns its slot (and the clock's buffer) for the next
+    /// record, so a record/release loop holds the arena flat instead of
+    /// growing one snapshot per event.
     events: Vec<VectorClock>,
+    /// Retired `events` slots, reused LIFO so the warmest buffer comes
+    /// back first.
+    event_free: Vec<u32>,
     /// Access history per buffer allocation id. Ids are process-global and
     /// sparse, but a runtime touches only a handful of buffers: linear
     /// scan beats hashing.
@@ -87,6 +92,7 @@ impl GpuChecks {
             streams: vec![Vec::new(); ndevices],
             next_clock_idx: HOST_CLOCK + 1,
             events: Vec::new(),
+            event_free: Vec::new(),
             buffers: Vec::new(),
         }
     }
@@ -122,14 +128,38 @@ impl GpuChecks {
         vc.tick(idx);
     }
 
-    /// Snapshot the stream clock at an event record.
+    /// Snapshot the stream clock at an event record, into a recycled slot
+    /// when one is free (`clone_from` reuses the retired clock's buffer,
+    /// so the steady state of a record/release loop never allocates).
     fn record_event(&mut self, key: (usize, usize)) -> u64 {
         self.submit(key);
-        let snap = Self::stream_slot(&mut self.streams, &mut self.next_clock_idx, key)
-            .1
-            .clone();
-        self.events.push(snap);
-        self.events.len() as u64
+        let src = Self::stream_slot(&mut self.streams, &mut self.next_clock_idx, key);
+        match self.event_free.pop() {
+            Some(slot) => {
+                self.events[slot as usize].clone_from(&src.1);
+                u64::from(slot) + 1
+            }
+            None => {
+                self.events.push(src.1.clone());
+                self.events.len() as u64
+            }
+        }
+    }
+
+    /// Return an event's snapshot slot to the pool. A live snapshot is
+    /// never the zero clock (`submit` ticks the stream before every
+    /// record), so a zero clock marks an already-retired slot and a
+    /// double release stays a no-op instead of aliasing two live events.
+    fn release_event(&mut self, event_id: u64) {
+        if let Some(ev) = event_id
+            .checked_sub(1)
+            .and_then(|i| self.events.get_mut(i as usize))
+        {
+            if *ev != VectorClock::new() {
+                ev.reset();
+                self.event_free.push((event_id - 1) as u32);
+            }
+        }
     }
 
     /// Event→stream edge (`cudaStreamWaitEvent`).
@@ -767,6 +797,27 @@ impl GpuRuntime {
         }
     }
 
+    /// Retire a recorded event (cf. `cudaEventDestroy`): its sanitizer
+    /// snapshot slot goes back to the pool for the next `event_record`.
+    ///
+    /// The handle — and any copy of it — must not be passed to
+    /// `stream_wait_event`/`event_synchronize` afterwards: a later record
+    /// may reuse the id, and the stale handle would order against the new
+    /// snapshot. Timing queries (`elapsed_since`) stay valid because the
+    /// completion time lives in the handle itself. Releasing twice, or
+    /// releasing on an unchecked runtime (id 0), is a no-op.
+    pub fn event_release(&mut self, e: GpuEvent) {
+        if let Some(ch) = &mut self.checks {
+            ch.release_event(e.id);
+        }
+    }
+
+    /// Snapshot slots the sanitizer has ever allocated for events (live +
+    /// pooled). Diagnostic: a record/release loop must plateau here.
+    pub fn event_arena_len(&self) -> usize {
+        self.checks.as_ref().map_or(0, |c| c.events.len())
+    }
+
     /// Make everything subsequently enqueued on `s` wait for `e`
     /// (cf. `cudaStreamWaitEvent`) — the cross-stream dependency
     /// primitive pipelined benchmarks build on. Costs nothing on the host.
@@ -1162,6 +1213,49 @@ mod tests {
         rt.event_synchronize(&e);
         rt.memcpy_async(&sink, &shared, 4096, &s2).unwrap();
         rt.stream_synchronize(&s2).unwrap();
+        assert_eq!(rt.check_findings(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn event_release_holds_snapshot_arena_flat() {
+        let mut rt = testkit::single_gpu_runtime();
+        rt.enable_checks();
+        let s = rt.default_stream(DeviceId(0)).unwrap();
+        // A record/release loop (the pipelined-benchmark pattern) must
+        // recycle one slot, not grow one snapshot per iteration.
+        let mut arena_after_warmup = 0;
+        for i in 0..1_000 {
+            rt.launch_empty(&s).unwrap();
+            let e = rt.event_record(&s).unwrap();
+            rt.event_synchronize(&e);
+            rt.event_release(e);
+            if i == 0 {
+                arena_after_warmup = rt.event_arena_len();
+            }
+        }
+        assert_eq!(rt.event_arena_len(), arena_after_warmup);
+        assert_eq!(rt.check_findings(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn event_release_twice_is_a_noop_and_live_events_keep_slots() {
+        let mut rt = testkit::single_gpu_runtime();
+        rt.enable_checks();
+        let s = rt.default_stream(DeviceId(0)).unwrap();
+        let e1 = rt.event_record(&s).unwrap();
+        let e2 = rt.event_record(&s).unwrap();
+        rt.event_release(e1);
+        rt.event_release(e1); // double release: must not free e2's slot
+        let e3 = rt.event_record(&s).unwrap();
+        let e4 = rt.event_record(&s).unwrap();
+        // e3 recycled e1's slot; e4 needed a fresh one (e2 is still live).
+        assert_eq!(rt.event_arena_len(), 3);
+        // The live event still carries its happens-before edge.
+        let s2 = rt.create_stream(DeviceId(0)).unwrap();
+        rt.stream_wait_event(&s2, &e2).unwrap();
+        rt.stream_wait_event(&s2, &e3).unwrap();
+        rt.stream_wait_event(&s2, &e4).unwrap();
+        rt.device_synchronize().unwrap();
         assert_eq!(rt.check_findings(), Vec::<String>::new());
     }
 

@@ -1,0 +1,297 @@
+//! Multi-pair pingpong storm worlds: O(ranks) event-engine workloads.
+//!
+//! The paper's tables stop at one node and two ranks; the storm drives the
+//! same eager-protocol machinery with *thousands* of concurrent pairs, one
+//! in-flight event per pair, all scheduled through a single
+//! [`EventQueue`]. That puts 10³–10⁴ concurrent events in the scheduler —
+//! exactly the population where the calendar core's amortized O(1)
+//! schedule/pop separates from the heap's O(log n) — while the per-NUMA
+//! copy ports serialize co-located senders and spread completion times the
+//! way contended hardware does.
+//!
+//! The storm is deterministic: given a config, seed, and rank placement,
+//! the event order is a total order of `(time, seq)` independent of the
+//! queue core, so [`StormReport::clock_digest`] is bit-identical between
+//! the heap and calendar schedulers. The A/B integration test pins that.
+
+use std::sync::Arc;
+
+use doe_simtime::{EventQueue, QueuePolicy, Scheduled, SimTime};
+use doe_topo::{CoreId, NodeBuilder, NodeTopology, NumaId, SocketId};
+
+use crate::config::MpiConfig;
+use crate::world::{MpiError, MpiSim, Rank};
+
+/// Shape of a storm world.
+#[derive(Debug, Clone)]
+pub struct StormConfig {
+    /// Number of pingpong pairs; the world has `2 * pairs` ranks.
+    pub pairs: usize,
+    /// NUMA domains the pairs are spread over, round-robin. Each domain has
+    /// one shared-memory copy port, so fewer domains mean more contention.
+    pub numa_domains: usize,
+    /// Message size per leg (keep at or below the eager threshold for the
+    /// allocation-free steady state the benchmarks pin).
+    pub bytes: u64,
+    /// Initial per-pair clock stagger in picoseconds (pair `i` starts at
+    /// `i * skew_ps`), so the event population does not start as one
+    /// degenerate tie cluster.
+    pub skew_ps: u64,
+    /// Run the dessan sanitizer on the world (vector clocks per rank).
+    pub checks: bool,
+}
+
+impl StormConfig {
+    /// A storm with `ranks` ranks (`ranks / 2` pairs) and contention-heavy
+    /// defaults: 8 NUMA domains, 64-byte eager messages, 731 ps stagger.
+    pub fn with_ranks(ranks: usize) -> Self {
+        StormConfig {
+            pairs: (ranks / 2).max(1),
+            numa_domains: 8,
+            bytes: 64,
+            skew_ps: 731,
+            checks: false,
+        }
+    }
+}
+
+/// What a storm run observed, for throughput metrics and A/B digests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StormReport {
+    /// Round-trip events processed.
+    pub events: u64,
+    /// Latest rank clock at the end of the run.
+    pub final_time: SimTime,
+    /// FNV-1a digest over every rank clock — the A/B fingerprint that must
+    /// match between queue policies (and with the sanitizer on or off).
+    pub clock_digest: u64,
+    /// High-water mark of the event queue (should equal `pairs`).
+    pub max_queue_depth: usize,
+    /// Whether the calendar core was active when the run finished.
+    pub used_calendar: bool,
+}
+
+/// The flat multi-domain topology a storm runs on: `numa_domains` sockets
+/// with enough cores that every pair gets two dedicated cores in one
+/// domain. No inter-domain links — storm traffic is all shared-memory.
+pub fn storm_topology(pairs: usize, numa_domains: usize) -> Arc<NodeTopology> {
+    let domains = numa_domains.max(1) as u32;
+    let cores_per_numa = 2 * (pairs as u32).div_ceil(domains);
+    let mut b = NodeBuilder::new("storm");
+    for d in 0..domains {
+        b = b
+            .socket("storm-cpu")
+            .numa(SocketId(d))
+            .cores(NumaId(d), cores_per_numa, 1);
+    }
+    // Chain the domains with socket links so the topology is connected;
+    // storm pairs are placed within a domain, so no traffic crosses them.
+    for d in 1..domains {
+        b = b.link(
+            doe_topo::Vertex::Numa(NumaId(d - 1)),
+            doe_topo::Vertex::Numa(NumaId(d)),
+            doe_topo::LinkKind::Upi,
+            doe_simtime::SimDuration::from_ns(200.0),
+            40.0,
+        );
+    }
+    match b.build() {
+        Ok(t) => Arc::new(t),
+        Err(e) => panic!("storm topology invalid: {e}"),
+    }
+}
+
+/// A running storm: a world, its event engine, and a reusable batch buffer.
+///
+/// Split from [`run_storm`] so callers (the allocation test, the
+/// benchmarks) can warm the world up and then time or audit the pure
+/// steady state.
+#[derive(Debug)]
+pub struct Storm {
+    world: MpiSim,
+    queue: EventQueue<u32>,
+    batch: Vec<Scheduled<u32>>,
+    bytes: u64,
+    events_done: u64,
+    max_depth: usize,
+}
+
+impl Storm {
+    /// Build the world, place `2 * cfg.pairs` ranks, and seed one in-flight
+    /// event per pair (staggered by `skew_ps`).
+    pub fn new(cfg: &StormConfig, policy: QueuePolicy, seed: u64) -> Result<Self, MpiError> {
+        let domains = cfg.numa_domains.max(1);
+        let topo = storm_topology(cfg.pairs, domains);
+        let cores_per_numa = 2 * cfg.pairs.div_ceil(domains);
+        let mut world = MpiSim::try_new(topo, MpiConfig::default_host(), seed)?;
+        for i in 0..cfg.pairs {
+            // Pair i lives in domain i % domains, on that domain's next
+            // two free cores; both ends share the domain (and its port).
+            let d = i % domains;
+            let slot = i / domains;
+            let base = (d * cores_per_numa + 2 * slot) as u32;
+            world.add_host_rank(CoreId(base))?;
+            world.add_host_rank(CoreId(base + 1))?;
+        }
+        if cfg.checks {
+            world.enable_checks();
+        }
+        let mut queue = EventQueue::with_policy_and_capacity(policy, cfg.pairs);
+        for i in 0..cfg.pairs {
+            let a = Rank(2 * i);
+            let b = Rank(2 * i + 1);
+            let stagger = doe_simtime::SimDuration::from_ps(cfg.skew_ps * i as u64);
+            world.advance(a, stagger)?;
+            world.advance(b, stagger)?;
+            queue.schedule(world.time(a)?, i as u32);
+        }
+        Ok(Storm {
+            world,
+            queue,
+            batch: Vec::with_capacity(cfg.pairs),
+            bytes: cfg.bytes,
+            events_done: 0,
+            max_depth: cfg.pairs,
+        })
+    }
+
+    /// Drain one timestamp batch: every pair whose event fires at the
+    /// current instant runs one full round trip and reschedules itself at
+    /// its new clock. Returns the number of round trips processed (0 only
+    /// if the queue is empty). Allocation-free once warm.
+    // doebench::hot
+    pub fn step(&mut self) -> Result<u64, MpiError> {
+        if self.queue.pop_batch(&mut self.batch).is_none() {
+            return Ok(0);
+        }
+        let n = self.batch.len();
+        for i in 0..n {
+            let pair = self.batch[i].payload as usize;
+            let a = Rank(2 * pair);
+            let b = Rank(2 * pair + 1);
+            self.world.send(a, b, self.bytes)?;
+            self.world.recv(b, a, self.bytes)?;
+            self.world.send(b, a, self.bytes)?;
+            self.world.recv(a, b, self.bytes)?;
+            self.queue.schedule(self.world.time(a)?, pair as u32);
+        }
+        if self.queue.len() > self.max_depth {
+            self.max_depth = self.queue.len();
+        }
+        self.events_done += n as u64;
+        Ok(n as u64)
+    }
+
+    /// Run until at least `events` round trips have been processed in
+    /// total (across all `run`/`step` calls so far).
+    // doebench::hot
+    pub fn run(&mut self, events: u64) -> Result<u64, MpiError> {
+        while self.events_done < events {
+            if self.step()? == 0 {
+                break;
+            }
+        }
+        Ok(self.events_done)
+    }
+
+    /// The world under the storm (e.g. for sanitizer findings).
+    pub fn world(&self) -> &MpiSim {
+        &self.world
+    }
+
+    /// Summarize the run so far.
+    pub fn report(&self) -> StormReport {
+        let mut final_time = SimTime::ZERO;
+        // FNV-1a over the rank clocks: any reordering or cost drift between
+        // queue cores changes some clock and therefore the digest.
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        for r in 0..self.world.size() {
+            let t = match self.world.time(Rank(r)) {
+                Ok(t) => t,
+                Err(_) => SimTime::ZERO,
+            };
+            final_time = final_time.max(t);
+            digest ^= t.as_ps();
+            digest = digest.wrapping_mul(0x1000_0000_01b3);
+        }
+        StormReport {
+            events: self.events_done,
+            final_time,
+            clock_digest: digest,
+            max_queue_depth: self.max_depth,
+            used_calendar: self.queue.is_calendar(),
+        }
+    }
+}
+
+/// Build a storm, run `events` round trips, and report.
+pub fn run_storm(
+    cfg: &StormConfig,
+    policy: QueuePolicy,
+    seed: u64,
+    events: u64,
+) -> Result<StormReport, MpiError> {
+    let mut storm = Storm::new(cfg, policy, seed)?;
+    storm.run(events)?;
+    Ok(storm.report())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> StormConfig {
+        StormConfig {
+            pairs: 96,
+            numa_domains: 4,
+            bytes: 64,
+            skew_ps: 731,
+            checks: false,
+        }
+    }
+
+    #[test]
+    fn storm_makes_progress_and_tracks_depth() {
+        let r = run_storm(&small(), QueuePolicy::Auto, 9, 2_000).expect("storm runs");
+        assert!(r.events >= 2_000);
+        assert_eq!(r.max_queue_depth, 96);
+        assert!(r.final_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn heap_and_calendar_storms_are_bit_identical() {
+        let cfg = small();
+        let heap = run_storm(&cfg, QueuePolicy::Heap, 9, 3_000).expect("heap storm");
+        let cal = run_storm(&cfg, QueuePolicy::Calendar, 9, 3_000).expect("calendar storm");
+        assert!(cal.used_calendar && !heap.used_calendar);
+        assert_eq!(heap.events, cal.events);
+        assert_eq!(heap.final_time, cal.final_time);
+        assert_eq!(heap.clock_digest, cal.clock_digest);
+    }
+
+    #[test]
+    fn checked_storm_is_clean_and_matches_unchecked() {
+        let mut cfg = small();
+        let plain = run_storm(&cfg, QueuePolicy::Auto, 9, 1_500).expect("plain");
+        cfg.checks = true;
+        let mut storm = Storm::new(&cfg, QueuePolicy::Auto, 9).expect("checked storm");
+        storm.run(1_500).expect("run");
+        let checked = storm.report();
+        assert!(
+            storm.world().check_findings().is_empty(),
+            "storm must be sanitizer-clean: {:?}",
+            storm.world().check_findings()
+        );
+        assert_eq!(plain.clock_digest, checked.clock_digest);
+    }
+
+    #[test]
+    fn storm_seeds_differ_but_runs_reproduce() {
+        let cfg = small();
+        let a = run_storm(&cfg, QueuePolicy::Auto, 5, 1_000).expect("a");
+        let b = run_storm(&cfg, QueuePolicy::Auto, 5, 1_000).expect("b");
+        let c = run_storm(&cfg, QueuePolicy::Auto, 6, 1_000).expect("c");
+        assert_eq!(a, b);
+        assert_ne!(a.clock_digest, c.clock_digest);
+    }
+}

@@ -58,15 +58,6 @@ impl std::fmt::Display for MpiError {
 
 impl std::error::Error for MpiError {}
 
-#[derive(Clone, Debug)]
-struct RankInfo {
-    core: CoreId,
-    /// The core's NUMA domain, resolved once at `add_rank` — looking it up
-    /// per message would linear-scan the core table on every send/recv.
-    numa: NumaId,
-    buffer: BufferLoc,
-}
-
 /// A serializing resource (the shared-memory port of one NUMA domain):
 /// concurrent payload copies from co-located ranks queue behind each
 /// other, which is what degrades multi-pair throughput on a socket.
@@ -183,17 +174,37 @@ impl MpiChecks {
 pub struct MpiSim {
     topo: Arc<NodeTopology>,
     cfg: MpiConfig,
-    ranks: Vec<RankInfo>,
+    /// Per-rank placement, SoA so the hot send/recv loop walks dense
+    /// parallel arrays (one cache line covers 8 ranks' NUMA ids) instead of
+    /// striding a struct-of-everything.
+    rank_core: Vec<CoreId>,
+    rank_numa: Vec<NumaId>,
+    rank_buffer: Vec<BufferLoc>,
+    /// Interned endpoint class per rank — index into [`Self::classes`].
+    rank_class: Vec<u32>,
     clocks: Vec<SimTime>,
     /// Pending messages per receiving rank, FIFO per sender.
     mailboxes: Vec<VecDeque<Message>>,
     /// Shared-memory copy port per NUMA domain, dense by `NumaId::index()`.
     ports: Vec<Port>,
-    /// Memoized endpoint costs per (sender, receiver) rank pair, dense by
-    /// `from * nranks + to`; rebuilt when a rank is added. Every message
-    /// between a pair resolves the same path, so Dijkstra runs once.
-    paths: Vec<Option<PathCosts>>,
-    /// Route-cost memo backing [`Self::paths`] misses.
+    /// The distinct `(numa, buffer)` endpoint classes seen so far. Transport
+    /// cost depends only on the endpoint classes (plus a per-pair on-die
+    /// distance term computed inline), so the memo is O(classes²) — a
+    /// handful of entries even for a 10k-rank storm world, where the old
+    /// rank-pair memo was O(ranks²) and rebuilt O(ranks³) times over.
+    classes: Vec<(NumaId, BufferLoc)>,
+    /// Memoized endpoint costs per (sender class, receiver class), dense by
+    /// `from * classes.len() + to`; rebuilt on the rare event of a new
+    /// class appearing.
+    class_paths: Vec<Option<PathCosts>>,
+    /// `NumaId` per core, dense by `CoreId::index()` (`u32::MAX` = no such
+    /// core) — `add_rank` would otherwise linear-scan the core table,
+    /// O(ranks · cores) while building a storm world.
+    core_numa: Vec<u32>,
+    /// Core count per NUMA domain, dense by `NumaId::index()`, for the
+    /// on-die distance fraction.
+    numa_core_count: Vec<u32>,
+    /// Route-cost memo backing [`Self::class_paths`] misses.
     routes: RouteCostCache,
     /// Common-mode run factor: one draw per world, scaling every software
     /// and transport cost. Run-to-run σ in the paper is dominated by this
@@ -232,14 +243,35 @@ impl MpiSim {
             .map(|n| n.id.index() + 1)
             .max()
             .unwrap_or(0);
+        let ncores = topo
+            .cores
+            .iter()
+            .map(|c| c.id.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut core_numa = vec![u32::MAX; ncores];
+        let mut numa_core_count = vec![0u32; nports];
+        for c in &topo.cores {
+            core_numa[c.id.index()] = c.numa.index() as u32;
+            if c.numa.index() >= numa_core_count.len() {
+                numa_core_count.resize(c.numa.index() + 1, 0);
+            }
+            numa_core_count[c.numa.index()] += 1;
+        }
         Ok(MpiSim {
             topo,
             cfg,
-            ranks: Vec::new(),
+            rank_core: Vec::new(),
+            rank_numa: Vec::new(),
+            rank_buffer: Vec::new(),
+            rank_class: Vec::new(),
             clocks: Vec::new(),
             mailboxes: Vec::new(),
             ports: vec![Port::default(); nports],
-            paths: Vec::new(),
+            classes: Vec::new(),
+            class_paths: Vec::new(),
+            core_numa,
+            numa_core_count,
             routes: RouteCostCache::new(),
             run_factor,
             checks,
@@ -250,7 +282,7 @@ impl MpiSim {
     /// `--check` switch (test fixtures).
     pub fn enable_checks(&mut self) {
         if self.checks.is_none() {
-            self.checks = Some(Box::new(MpiChecks::new(self.ranks.len())));
+            self.checks = Some(Box::new(MpiChecks::new(self.clocks.len())));
         }
     }
 
@@ -296,20 +328,37 @@ impl MpiSim {
     }
 
     fn add_rank(&mut self, core: CoreId, buffer: BufferLoc) -> Result<Rank, MpiError> {
-        if self.topo.core(core).is_none() {
-            return Err(MpiError::InvalidCore(core));
-        }
-        let numa = self
-            .topo
-            .numa_of_core(core)
+        let numa_idx = self
+            .core_numa
+            .get(core.index())
+            .copied()
+            .filter(|&n| n != u32::MAX)
             .ok_or(MpiError::InvalidCore(core))?;
-        self.ranks.push(RankInfo { core, numa, buffer });
+        let numa = NumaId(numa_idx);
+        // Intern the rank's endpoint class; a new class invalidates the
+        // class-pair memo (it refills lazily — classes are a handful, ranks
+        // are thousands, so this stays O(1) amortized per added rank).
+        let class = match self
+            .classes
+            .iter()
+            .position(|&(n, b)| n == numa && b == buffer)
+        {
+            Some(c) => c as u32,
+            None => {
+                self.classes.push((numa, buffer));
+                let nc = self.classes.len();
+                self.class_paths.clear();
+                self.class_paths.resize(nc * nc, None);
+                (nc - 1) as u32
+            }
+        };
+        self.rank_core.push(core);
+        self.rank_numa.push(numa);
+        self.rank_buffer.push(buffer);
+        self.rank_class.push(class);
         self.clocks.push(SimTime::ZERO);
         self.mailboxes.push(VecDeque::new());
-        // The pair-indexed path memo is dense in the rank count: rebuild.
-        let n = self.ranks.len();
-        self.paths.clear();
-        self.paths.resize(n * n, None);
+        let n = self.clocks.len();
         if numa.index() >= self.ports.len() {
             self.ports.resize(numa.index() + 1, Port::default());
         }
@@ -321,7 +370,7 @@ impl MpiSim {
 
     /// Number of ranks.
     pub fn size(&self) -> usize {
-        self.ranks.len()
+        self.clocks.len()
     }
 
     /// A rank's current virtual time.
@@ -366,41 +415,52 @@ impl MpiSim {
 
     // doebench::hot
     fn path_between(&mut self, from: usize, to: usize) -> Result<PathCosts, MpiError> {
-        // Dense pair memo first: one resolution per rank pair per world.
-        let idx = from * self.ranks.len() + to;
-        if let Some(Some(path)) = self.paths.get(idx) {
-            return Ok(*path);
-        }
-        let path = self.path_between_uncached(from, to)?;
-        self.paths[idx] = Some(path);
-        Ok(path)
-    }
-
-    /// The memo-miss path: full endpoint resolution (Dijkstra via the
-    /// route-cost cache) plus the on-die distance adjustment.
-    fn path_between_uncached(&mut self, from: usize, to: usize) -> Result<PathCosts, MpiError> {
-        let (fn_, fb) = (self.ranks[from].numa, self.ranks[from].buffer);
-        let (tn, tb) = (self.ranks[to].numa, self.ranks[to].buffer);
-        let mut path =
-            resolve_path_cached(&self.topo, &mut self.routes, &self.cfg, fn_, fb, tn, tb)
-                .ok_or(MpiError::NoPath { from, to })?;
-        let fi = &self.ranks[from];
-        let ti = &self.ranks[to];
+        // Dense class-pair memo first: one resolution per endpoint-class
+        // pair per world, shared by every rank pair in those classes.
+        let (cf, ct) = (self.rank_class[from], self.rank_class[to]);
+        let idx = cf as usize * self.classes.len() + ct as usize;
+        let mut path = match self.class_paths[idx] {
+            Some(p) => p,
+            None => {
+                let p = self.class_path_uncached(cf, ct, from, to)?;
+                self.class_paths[idx] = Some(p);
+                p
+            }
+        };
         // On-die mesh distance for same-domain host pairs (Xeon Phi's
-        // "close" vs "far" core pairs).
-        if fn_ == tn
-            && fi.buffer == BufferLoc::Host
-            && ti.buffer == BufferLoc::Host
+        // "close" vs "far" core pairs) — the one per-pair term, computed
+        // inline from the dense placement arrays so the memo can stay
+        // O(classes²).
+        if self.rank_numa[from] == self.rank_numa[to]
+            && self.rank_buffer[from] == BufferLoc::Host
+            && self.rank_buffer[to] == BufferLoc::Host
             && !self.cfg.intra_numa_distance.is_zero()
         {
-            let n = self.topo.cores_of_numa(fn_).len();
+            let n = self.numa_core_count[self.rank_numa[from].index()] as usize;
             if n > 1 {
-                let dist = fi.core.index().abs_diff(ti.core.index()) as f64;
+                let dist = self.rank_core[from]
+                    .index()
+                    .abs_diff(self.rank_core[to].index()) as f64;
                 let frac = dist / (n - 1) as f64;
                 path.latency += self.cfg.intra_numa_distance * frac.min(1.0);
             }
         }
         Ok(path)
+    }
+
+    /// The memo-miss path: full endpoint resolution (Dijkstra via the
+    /// route-cost cache) for a class pair.
+    fn class_path_uncached(
+        &mut self,
+        cf: u32,
+        ct: u32,
+        from: usize,
+        to: usize,
+    ) -> Result<PathCosts, MpiError> {
+        let (fn_, fb) = self.classes[cf as usize];
+        let (tn, tb) = self.classes[ct as usize];
+        resolve_path_cached(&self.topo, &mut self.routes, &self.cfg, fn_, fb, tn, tb)
+            .ok_or(MpiError::NoPath { from, to })
     }
 
     /// Blocking standard-mode send of `bytes` from `from` to `to`.
@@ -437,10 +497,10 @@ impl MpiSim {
         if from == to {
             return Err(MpiError::SelfMessage);
         }
-        if from.0 >= self.ranks.len() {
+        if from.0 >= self.clocks.len() {
             return Err(MpiError::InvalidRank(from.0));
         }
-        if to.0 >= self.ranks.len() {
+        if to.0 >= self.clocks.len() {
             return Err(MpiError::InvalidRank(to.0));
         }
         let path = self.path_between(from.0, to.0)?;
@@ -454,7 +514,7 @@ impl MpiSim {
         let sender_ready = if eager {
             let ser = self.scaled(SimDuration::transfer(bytes, path.bandwidth));
             let after_os = self.clocks[from.0] + o_s;
-            let numa = self.ranks[from.0].numa;
+            let numa = self.rank_numa[from.0];
             let done = if ser.is_zero() {
                 after_os
             } else {
@@ -505,7 +565,7 @@ impl MpiSim {
     /// Returns the receiver-side completion instant.
     // doebench::hot
     pub fn recv(&mut self, at: Rank, from: Rank, bytes: u64) -> Result<SimTime, MpiError> {
-        if at.0 >= self.ranks.len() {
+        if at.0 >= self.clocks.len() {
             return Err(MpiError::InvalidRank(at.0));
         }
         let pos = self.mailboxes[at.0]
@@ -553,7 +613,7 @@ impl MpiSim {
                                                  // The payload copy occupies the sender's NUMA port, then
                                                  // crosses the path.
                 let ser = self.scaled(SimDuration::transfer(msg.bytes, msg.path.bandwidth));
-                let sender_numa = self.ranks[msg.from].numa;
+                let sender_numa = self.rank_numa[msg.from];
                 let copy_done = if ser.is_zero() {
                     data_start
                 } else {

@@ -40,7 +40,9 @@
 
 pub mod collectives;
 pub mod fabric;
+pub mod storm;
 pub mod world;
 
 pub use fabric::{Fabric, FabricConfig, NodeId};
+pub use storm::{run_net_storm, NetStorm, NetStormConfig, NetStormReport};
 pub use world::{NetError, NetRank, NetWorld, NicConfig};

@@ -1,0 +1,246 @@
+//! Fabric-scale pingpong storms: the inter-node face of the event-engine
+//! throughput push.
+//!
+//! Unlike the intra-node storm (whose copy ports spread completion times),
+//! the fabric has no serializing resource between distinct pairs, so pairs
+//! sharing a path class complete in *lock-step*: with zero initial stagger,
+//! hundreds of ranks fire at exactly the same virtual instant every round.
+//! That makes this storm the same-timestamp batching showcase —
+//! [`EventQueue::pop_batch`] hands the driver whole tie groups, and the
+//! calendar core unlinks each group in a single bucket pass instead of one
+//! min-search per event.
+//!
+//! An odd `nodes_per_group` makes some pairs straddle a group boundary, so
+//! two round-trip periods (intra- and inter-group) interleave and the tie
+//! structure stays non-trivial as virtual time advances.
+
+use doe_simtime::{EventQueue, QueuePolicy, Scheduled, SimDuration, SimTime};
+
+use crate::fabric::{Fabric, FabricConfig, NodeId};
+use crate::world::{NetError, NetRank, NetWorld, NicConfig};
+
+/// Shape of a fabric storm.
+#[derive(Debug, Clone)]
+pub struct NetStormConfig {
+    /// Number of pingpong pairs; the fabric gets `2 * pairs` nodes.
+    pub pairs: usize,
+    /// Nodes per switch group. An odd value makes every
+    /// `nodes_per_group`-th pair straddle a group boundary (inter-group
+    /// round trips mixed in among the intra-group majority).
+    pub nodes_per_group: u32,
+    /// Message size per leg (eager by default).
+    pub bytes: u64,
+    /// Initial per-pair clock stagger in picoseconds; 0 keeps pairs in
+    /// lock-step and maximizes same-timestamp batches.
+    pub skew_ps: u64,
+    /// Run the dessan sanitizer on the world.
+    pub checks: bool,
+}
+
+impl NetStormConfig {
+    /// A storm with `ranks` ranks: odd-width groups, 64-byte eager legs,
+    /// zero stagger (lock-step ties on purpose).
+    pub fn with_ranks(ranks: usize) -> Self {
+        NetStormConfig {
+            pairs: (ranks / 2).max(1),
+            nodes_per_group: 33,
+            bytes: 64,
+            skew_ps: 0,
+            checks: false,
+        }
+    }
+}
+
+/// What a fabric storm observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetStormReport {
+    /// Round-trip events processed.
+    pub events: u64,
+    /// Latest rank clock at the end of the run.
+    pub final_time: SimTime,
+    /// FNV-1a digest over every rank clock (A/B fingerprint).
+    pub clock_digest: u64,
+    /// Largest same-timestamp batch the queue handed out.
+    pub max_batch: usize,
+    /// Whether the calendar core was active when the run finished.
+    pub used_calendar: bool,
+}
+
+/// A running fabric storm.
+#[derive(Debug)]
+pub struct NetStorm {
+    world: NetWorld,
+    queue: EventQueue<u32>,
+    batch: Vec<Scheduled<u32>>,
+    pairs: usize,
+    bytes: u64,
+    events_done: u64,
+    max_batch: usize,
+}
+
+impl NetStorm {
+    /// Build a fabric sized for the pair count, place ranks on consecutive
+    /// nodes, and seed one in-flight event per pair.
+    pub fn new(cfg: &NetStormConfig, policy: QueuePolicy, seed: u64) -> Result<Self, NetError> {
+        let npg = cfg.nodes_per_group.max(2);
+        let nodes = (2 * cfg.pairs) as u32;
+        let fabric_cfg = FabricConfig {
+            groups: nodes.div_ceil(npg).max(1),
+            nodes_per_group: npg,
+            ..FabricConfig::slingshot_like()
+        };
+        let mut world = NetWorld::new(Fabric::new(fabric_cfg), NicConfig::default_hpc(), seed);
+        if cfg.checks {
+            world.enable_checks();
+        }
+        let mut queue = EventQueue::with_policy_and_capacity(policy, cfg.pairs);
+        for i in 0..cfg.pairs {
+            let a = world.add_rank(NodeId(2 * i as u32))?;
+            let b = world.add_rank(NodeId(2 * i as u32 + 1))?;
+            let stagger = SimDuration::from_ps(cfg.skew_ps * i as u64);
+            world.advance(a, stagger)?;
+            world.advance(b, stagger)?;
+            queue.schedule(world.time(a)?, i as u32);
+        }
+        Ok(NetStorm {
+            world,
+            queue,
+            batch: Vec::with_capacity(cfg.pairs),
+            pairs: cfg.pairs,
+            bytes: cfg.bytes,
+            events_done: 0,
+            max_batch: 0,
+        })
+    }
+
+    /// Drain one timestamp batch: every pair firing at the current instant
+    /// runs a round trip and reschedules itself. Allocation-free once warm.
+    // doebench::hot
+    pub fn step(&mut self) -> Result<u64, NetError> {
+        if self.queue.pop_batch(&mut self.batch).is_none() {
+            return Ok(0);
+        }
+        let n = self.batch.len();
+        if n > self.max_batch {
+            self.max_batch = n;
+        }
+        for i in 0..n {
+            let pair = self.batch[i].payload as usize;
+            let a = NetRank(2 * pair);
+            let b = NetRank(2 * pair + 1);
+            self.world.send(a, b, self.bytes)?;
+            self.world.recv(b, a, self.bytes)?;
+            self.world.send(b, a, self.bytes)?;
+            self.world.recv(a, b, self.bytes)?;
+            self.queue.schedule(self.world.time(a)?, pair as u32);
+        }
+        self.events_done += n as u64;
+        Ok(n as u64)
+    }
+
+    /// Run until at least `events` round trips have been processed.
+    // doebench::hot
+    pub fn run(&mut self, events: u64) -> Result<u64, NetError> {
+        while self.events_done < events {
+            if self.step()? == 0 {
+                break;
+            }
+        }
+        Ok(self.events_done)
+    }
+
+    /// The world under the storm.
+    pub fn world(&self) -> &NetWorld {
+        &self.world
+    }
+
+    /// Summarize the run so far.
+    pub fn report(&self) -> NetStormReport {
+        let mut final_time = SimTime::ZERO;
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        for r in 0..2 * self.pairs {
+            let t = match self.world.time(NetRank(r)) {
+                Ok(t) => t,
+                Err(_) => SimTime::ZERO,
+            };
+            final_time = final_time.max(t);
+            digest ^= t.as_ps();
+            digest = digest.wrapping_mul(0x1000_0000_01b3);
+        }
+        NetStormReport {
+            events: self.events_done,
+            final_time,
+            clock_digest: digest,
+            max_batch: self.max_batch,
+            used_calendar: self.queue.is_calendar(),
+        }
+    }
+}
+
+/// Build a fabric storm, run `events` round trips, and report.
+pub fn run_net_storm(
+    cfg: &NetStormConfig,
+    policy: QueuePolicy,
+    seed: u64,
+    events: u64,
+) -> Result<NetStormReport, NetError> {
+    let mut storm = NetStorm::new(cfg, policy, seed)?;
+    storm.run(events)?;
+    Ok(storm.report())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> NetStormConfig {
+        NetStormConfig {
+            pairs: 80,
+            nodes_per_group: 33,
+            bytes: 64,
+            skew_ps: 0,
+            checks: false,
+        }
+    }
+
+    #[test]
+    fn lockstep_storm_produces_large_batches() {
+        let mut storm = NetStorm::new(&small(), QueuePolicy::Auto, 3).expect("storm");
+        storm.run(2_000).expect("run");
+        let r = storm.report();
+        assert!(r.events >= 2_000);
+        // With zero stagger, the intra-group pairs all fire together.
+        assert!(
+            r.max_batch > 40,
+            "expected lock-step tie batches, got max {}",
+            r.max_batch
+        );
+    }
+
+    #[test]
+    fn heap_and_calendar_fabric_storms_are_bit_identical() {
+        let cfg = small();
+        let heap = run_net_storm(&cfg, QueuePolicy::Heap, 3, 2_000).expect("heap");
+        let cal = run_net_storm(&cfg, QueuePolicy::Calendar, 3, 2_000).expect("calendar");
+        assert!(cal.used_calendar && !heap.used_calendar);
+        assert_eq!(heap.events, cal.events);
+        assert_eq!(heap.final_time, cal.final_time);
+        assert_eq!(heap.clock_digest, cal.clock_digest);
+        assert_eq!(heap.max_batch, cal.max_batch);
+    }
+
+    #[test]
+    fn checked_fabric_storm_is_clean_and_matches_unchecked() {
+        let mut cfg = small();
+        let plain = run_net_storm(&cfg, QueuePolicy::Auto, 3, 1_000).expect("plain");
+        cfg.checks = true;
+        let mut storm = NetStorm::new(&cfg, QueuePolicy::Auto, 3).expect("checked");
+        storm.run(1_000).expect("run");
+        assert!(
+            storm.world().check_findings().is_empty(),
+            "fabric storm must be sanitizer-clean: {:?}",
+            storm.world().check_findings()
+        );
+        assert_eq!(plain.clock_digest, storm.report().clock_digest);
+    }
+}

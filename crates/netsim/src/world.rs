@@ -184,6 +184,13 @@ impl NetWorld {
             .ok_or(NetError::InvalidRank(r.0))
     }
 
+    /// Advance a rank's clock by local compute/overhead.
+    pub fn advance(&mut self, r: NetRank, d: SimDuration) -> Result<(), NetError> {
+        let c = self.clocks.get_mut(r.0).ok_or(NetError::InvalidRank(r.0))?;
+        *c += d;
+        Ok(())
+    }
+
     /// Align all clocks (idealized barrier between phases).
     pub fn barrier(&mut self) {
         let max = self.clocks.iter().copied().max().unwrap_or(SimTime::ZERO);

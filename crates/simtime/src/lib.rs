@@ -30,7 +30,9 @@ pub mod time;
 pub mod trace;
 
 pub use clock::Clock;
-pub use event::{EventQueue, Scheduled};
+pub use event::{
+    default_queue_policy, set_default_queue_policy, EventQueue, QueuePolicy, Scheduled,
+};
 pub use noise::Jitter;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -53,9 +53,9 @@ use std::sync::Arc;
 
 use doebench::gpurt::testkit::dual_gpu_runtime;
 use doebench::gpurt::Buffer;
-use doebench::mpi::{MpiConfig, MpiSim};
-use doebench::net::{Fabric, FabricConfig, NetWorld, NicConfig, NodeId};
-use doebench::simtime::{EventQueue, SimDuration, SimRng, SimTime};
+use doebench::mpi::{MpiConfig, MpiSim, Storm, StormConfig};
+use doebench::net::{Fabric, FabricConfig, NetStorm, NetStormConfig, NetWorld, NicConfig, NodeId};
+use doebench::simtime::{EventQueue, QueuePolicy, SimDuration, SimRng, SimTime};
 use doebench::topo::{CoreId, DeviceId, LinkKind, NodeBuilder, NumaId, SocketId, Vertex};
 
 fn two_numa_topo() -> Arc<doebench::topo::NodeTopology> {
@@ -163,6 +163,39 @@ fn netsim_phase(checks: bool) -> u64 {
     delta
 }
 
+/// A 1000-rank storm (500 pairs, calendar scheduler): the O(ranks)
+/// event-engine workload must hold the allocator still once the worlds,
+/// mailboxes, batch buffer, and calendar arena are warm.
+fn mpisim_storm_phase(checks: bool) -> u64 {
+    let cfg = StormConfig {
+        checks,
+        ..StormConfig::with_ranks(1_000)
+    };
+    let mut storm = Storm::new(&cfg, QueuePolicy::Calendar, 21).expect("storm world");
+    // Warm: ten full rounds, so every per-rank mailbox, copy port, the
+    // batch scratch, and (under --check) the clock pools hit capacity.
+    storm.run(5_000).expect("warm-up");
+    let delta = alloc_delta(|| {
+        storm.run(30_000).expect("steady state");
+    });
+    assert!(
+        storm.world().check_findings().is_empty(),
+        "storm must be clean"
+    );
+    delta
+}
+
+/// The fabric flavor: zero stagger keeps pairs in lock-step, so the
+/// steady state drains wide same-timestamp batches through `pop_batch`.
+fn netsim_storm_phase() -> u64 {
+    let cfg = NetStormConfig::with_ranks(1_000);
+    let mut storm = NetStorm::new(&cfg, QueuePolicy::Calendar, 23).expect("fabric storm");
+    storm.run(5_000).expect("warm-up");
+    alloc_delta(|| {
+        storm.run(30_000).expect("steady state");
+    })
+}
+
 fn gpurt_phase() -> u64 {
     let mut rt = dual_gpu_runtime();
     let s = rt.create_stream(DeviceId(0)).expect("stream");
@@ -207,6 +240,12 @@ fn steady_state_hot_paths_allocate_nothing() {
         ("mpisim pingpong under --check", mpisim_phase(true)),
         ("netsim pingpong", netsim_phase(false)),
         ("netsim pingpong under --check", netsim_phase(true)),
+        ("mpisim 1k-rank storm", mpisim_storm_phase(false)),
+        (
+            "mpisim 1k-rank storm under --check",
+            mpisim_storm_phase(true),
+        ),
+        ("netsim 1k-rank lock-step storm", netsim_storm_phase()),
         ("gpurt memcpy loop", gpurt_phase()),
         ("batch gaussian fill", noise_phase()),
     ];

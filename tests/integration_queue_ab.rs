@@ -1,0 +1,100 @@
+//! Queue-core A/B: the calendar scheduler must be *observationally
+//! invisible*. Both cores pop the exact global minimum of `(time, seq)`
+//! and recycle arena slots in the same order, so every downstream
+//! consumer — the campaign tables, the storm worlds, the sanitizer —
+//! must produce byte-identical output whichever core is active.
+//!
+//! Kept in one `#[test]` because the default queue policy is
+//! process-global (`set_default_queue_policy`, same switch the
+//! `DOEBENCH_QUEUE` env var flips for a whole process).
+
+use doebench::benchlib::set_jobs;
+use doebench::mpi::{Storm, StormConfig, StormReport};
+use doebench::net::{NetStorm, NetStormConfig, NetStormReport};
+use doebench::simtime::{set_default_queue_policy, QueuePolicy};
+use doebench::{table4, table5, table6, table7, Campaign};
+
+/// Every rendered table of the quick campaign, concatenated.
+fn campaign_output() -> String {
+    let c = Campaign::quick();
+    let t4 = table4::run(&c);
+    let t5 = table5::run(&c);
+    let t6 = table6::run(&c);
+    let t7 = table7::summarize(&t5, &t6);
+    format!(
+        "{}\n{}\n{}\n{}\n",
+        table4::render(&t4).to_ascii(),
+        table5::render(&t5).to_ascii(),
+        table6::render(&t6).to_ascii(),
+        table7::render(&t7).to_ascii(),
+    )
+}
+
+/// Checked mpisim storm under one policy: report + sanitizer findings.
+fn mpi_storm(policy: QueuePolicy) -> (StormReport, Vec<String>) {
+    let cfg = StormConfig {
+        checks: true,
+        ..StormConfig::with_ranks(1_000)
+    };
+    let mut storm = Storm::new(&cfg, policy, 41).expect("mpi storm world");
+    storm.run(4_000).expect("mpi storm run");
+    (storm.report(), storm.world().check_findings())
+}
+
+/// Checked fabric storm under one policy: report + sanitizer findings.
+fn net_storm(policy: QueuePolicy) -> (NetStormReport, Vec<String>) {
+    let cfg = NetStormConfig {
+        checks: true,
+        ..NetStormConfig::with_ranks(1_000)
+    };
+    let mut storm = NetStorm::new(&cfg, policy, 41).expect("fabric storm world");
+    storm.run(4_000).expect("fabric storm run");
+    (storm.report(), storm.world().check_findings())
+}
+
+#[test]
+fn campaign_and_storms_are_byte_identical_across_queue_cores() {
+    set_jobs(1);
+
+    // The storms pass an explicit policy; the campaign inherits the
+    // process default, which is what CI's DOEBENCH_QUEUE job exercises
+    // end to end over the doebench binary.
+    set_default_queue_policy(QueuePolicy::Heap);
+    let tables_heap = campaign_output();
+    let (mpi_heap, mpi_heap_findings) = mpi_storm(QueuePolicy::Heap);
+    let (net_heap, net_heap_findings) = net_storm(QueuePolicy::Heap);
+
+    set_default_queue_policy(QueuePolicy::Calendar);
+    let tables_cal = campaign_output();
+    let (mpi_cal, mpi_cal_findings) = mpi_storm(QueuePolicy::Calendar);
+    let (net_cal, net_cal_findings) = net_storm(QueuePolicy::Calendar);
+
+    set_default_queue_policy(QueuePolicy::Auto);
+
+    // Sanitizer findings must match between cores (and be empty — the
+    // storms are race-free by construction).
+    assert_eq!(mpi_heap_findings, mpi_cal_findings);
+    assert_eq!(net_heap_findings, net_cal_findings);
+    assert_eq!(mpi_heap_findings, Vec::<String>::new());
+    assert_eq!(net_heap_findings, Vec::<String>::new());
+
+    for needle in ["Table 4", "Table 5", "Table 6", "Table 7"] {
+        assert!(tables_heap.contains(needle), "missing {needle} in output");
+    }
+    assert!(
+        tables_heap == tables_cal,
+        "campaign tables diverged between queue cores:\n--- heap ---\n{tables_heap}\n--- calendar ---\n{tables_cal}"
+    );
+
+    // Storm fingerprints: every rank clock, the final time, and the event
+    // count must agree; only the core-in-use diagnostic may differ.
+    assert!(mpi_cal.used_calendar && !mpi_heap.used_calendar);
+    assert_eq!(mpi_heap.events, mpi_cal.events);
+    assert_eq!(mpi_heap.final_time, mpi_cal.final_time);
+    assert_eq!(mpi_heap.clock_digest, mpi_cal.clock_digest);
+    assert!(net_cal.used_calendar && !net_heap.used_calendar);
+    assert_eq!(net_heap.events, net_cal.events);
+    assert_eq!(net_heap.final_time, net_cal.final_time);
+    assert_eq!(net_heap.clock_digest, net_cal.clock_digest);
+    assert_eq!(net_heap.max_batch, net_cal.max_batch);
+}
