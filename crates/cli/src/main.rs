@@ -355,6 +355,7 @@ fn main() {
                 &["Working set", "ns/load"],
             );
             for p in pts {
+                // dessan::allow(nondet-taint): table reports measured wall-clock latency of this host — real-time by design.
                 t.push_row(vec![
                     format!("{} KiB", p.bytes / 1024),
                     format!("{:.2}", p.ns_per_load),

@@ -1,0 +1,93 @@
+//! The units vocabulary must stay consistent between the two checkers.
+//!
+//! `dessan-model` proves invariants over the unit-tagged newtypes in
+//! `doe_machines::units`; `dessan`'s units-flow analysis tracks the SAME
+//! vocabulary syntactically through workspace arithmetic. If a newtype or
+//! extractor is renamed (or a new one added) without teaching units-flow
+//! about it, the dataflow checker silently goes blind to that unit — this
+//! test makes the drift a hard failure instead.
+
+use dessan::unitsflow::UnitDim;
+
+#[test]
+fn every_units_newtype_is_known_to_units_flow() {
+    // Type names from `doe_machines::units`, paired with the dimension
+    // units-flow must assign to them as path qualifiers.
+    for (name, dim) in [
+        ("Micros", UnitDim::Micros),
+        ("Nanos", UnitDim::Nanos),
+        ("GbPerS", UnitDim::GbPerS),
+        ("GibPerS", UnitDim::GibPerS),
+        ("Bytes", UnitDim::Bytes),
+    ] {
+        assert_eq!(
+            UnitDim::of_constructor(name),
+            Some(dim),
+            "`doe_machines::units::{name}` is not recognized by units-flow"
+        );
+    }
+}
+
+#[test]
+fn every_units_extractor_is_known_to_units_flow() {
+    // Conversion methods on the newtypes (and the SimDuration
+    // extractors the models call) must map to the unit they *produce*.
+    for (method, dim) in [
+        ("to_micros", UnitDim::Micros),
+        ("to_nanos", UnitDim::Nanos),
+        ("to_gb_per_s", UnitDim::GbPerS),
+        ("to_gib_per_s", UnitDim::GibPerS),
+        ("as_us", UnitDim::Micros),
+        ("as_ns", UnitDim::Nanos),
+        ("as_ps", UnitDim::Picos),
+    ] {
+        assert_eq!(
+            UnitDim::of_constructor(method),
+            Some(dim),
+            "extractor `{method}` is not recognized by units-flow"
+        );
+    }
+}
+
+#[test]
+fn normalizing_constructors_carry_no_unit() {
+    // `from_*` constructors normalize internally; if units-flow ever
+    // started treating them as unit sources, `from_us(a) + from_ns(b)`
+    // (correct code, used throughout the models) would become a false
+    // positive.
+    for name in ["from_us", "from_ns", "from_ps", "from_ms", "from_secs"] {
+        assert_eq!(
+            UnitDim::of_constructor(name),
+            None,
+            "normalizing constructor `{name}` must not carry a unit"
+        );
+        assert_eq!(
+            UnitDim::of_suffix(name),
+            None,
+            "normalizing constructor `{name}` must not match a suffix rule"
+        );
+    }
+}
+
+#[test]
+fn unit_suffix_conventions_match_the_model_fields() {
+    // Field/variable suffixes used across the machine models and the
+    // simulation crates.
+    for (ident, dim) in [
+        ("shm_latency_us", UnitDim::Micros),
+        ("link_lat_ns", UnitDim::Nanos),
+        ("skew_ps", UnitDim::Picos),
+        ("peak_gb_s", UnitDim::GbPerS),
+        ("meas_gib_s", UnitDim::GibPerS),
+        ("cap_bytes", UnitDim::Bytes),
+        ("working_set_kib", UnitDim::Bytes),
+    ] {
+        assert_eq!(
+            UnitDim::of_suffix(ident),
+            Some(dim),
+            "suffix of `{ident}` is not recognized by units-flow"
+        );
+    }
+    // A bare suffix with no stem is not an identifier convention.
+    assert_eq!(UnitDim::of_suffix("_us"), None);
+}

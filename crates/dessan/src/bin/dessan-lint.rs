@@ -1,20 +1,83 @@
 //! Workspace determinism lint gate.
 //!
 //! ```text
-//! cargo run -p dessan --bin dessan-lint [workspace-root]
+//! cargo run -p dessan --bin dessan-lint [--format json|text] [workspace-root]
 //! ```
 //!
 //! Scans `crates/*/src/**/*.rs`, applies the `dessan.toml` grandfather
 //! allowlist, prints violations, and exits nonzero if any remain. Unused
 //! allowlist entries are a hard failure so the list only shrinks.
+//!
+//! Exit codes: `0` clean, `1` findings or unused allowlist entries,
+//! `2` scan/internal errors (unreadable root, malformed `dessan.toml`,
+//! bad CLI arguments).
+//!
+//! `--format json` emits a single machine-readable object on stdout:
+//!
+//! ```json
+//! {
+//!   "files": 107,
+//!   "violations": 1,
+//!   "grandfathered": 0,
+//!   "findings": [
+//!     {"rule": "nondet-taint", "path": "crates/cli/src/main.rs",
+//!      "line": 358, "message": "…", "chain": ["…", "…"]}
+//!   ],
+//!   "unused_allows": []
+//! }
+//! ```
 
 use std::path::PathBuf;
 
+/// JSON string escaping per RFC 8259 (no serde in this workspace).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_list(items: impl Iterator<Item = String>) -> String {
+    let inner: Vec<String> = items.collect();
+    format!("[{}]", inner.join(","))
+}
+
+fn usage_exit() -> ! {
+    eprintln!("usage: dessan-lint [--format json|text] [workspace-root]");
+    std::process::exit(2);
+}
+
 fn main() {
-    let root = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("."));
+    let mut format_json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("json") => format_json = true,
+                Some("text") => format_json = false,
+                _ => usage_exit(),
+            },
+            "--format=json" => format_json = true,
+            "--format=text" => format_json = false,
+            a if a.starts_with('-') => usage_exit(),
+            a if root.is_none() => root = Some(PathBuf::from(a)),
+            _ => usage_exit(),
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+
     let report = match dessan::lint::run(&root) {
         Ok(r) => r,
         Err(e) => {
@@ -22,18 +85,47 @@ fn main() {
             std::process::exit(2);
         }
     };
-    for f in &report.findings {
-        println!("{f}");
+
+    if format_json {
+        let findings = json_list(report.findings.iter().map(|f| {
+            format!(
+                "{{\"rule\":{},\"path\":{},\"line\":{},\"message\":{},\"chain\":{}}}",
+                json_str(f.rule.id()),
+                json_str(&f.path),
+                f.line,
+                json_str(&f.message),
+                json_list(f.chain.iter().map(|h| json_str(h))),
+            )
+        }));
+        let unused = json_list(report.unused_allows.iter().map(|(rule, path)| {
+            format!(
+                "{{\"rule\":{},\"path\":{}}}",
+                json_str(rule),
+                json_str(path)
+            )
+        }));
+        println!(
+            "{{\"files\":{},\"violations\":{},\"grandfathered\":{},\"findings\":{},\"unused_allows\":{}}}",
+            report.files,
+            report.findings.len(),
+            report.allowed,
+            findings,
+            unused,
+        );
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
+        for (rule, path) in &report.unused_allows {
+            eprintln!("error: unused allowlist entry `{rule} {path}` — delete it from dessan.toml");
+        }
+        eprintln!(
+            "dessan-lint: {} file(s), {} violation(s), {} grandfathered",
+            report.files,
+            report.findings.len(),
+            report.allowed
+        );
     }
-    for (rule, path) in &report.unused_allows {
-        eprintln!("error: unused allowlist entry `{rule} {path}` — delete it from dessan.toml");
-    }
-    eprintln!(
-        "dessan-lint: {} file(s), {} violation(s), {} grandfathered",
-        report.files,
-        report.findings.len(),
-        report.allowed
-    );
     if !report.is_clean() || !report.unused_allows.is_empty() {
         std::process::exit(1);
     }

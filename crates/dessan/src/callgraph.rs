@@ -276,7 +276,7 @@ pub struct WsFile {
 }
 
 /// `(file index, fn index)` node id.
-type Node = (usize, usize);
+pub type Node = (usize, usize);
 
 /// The crate a workspace-relative path belongs to.
 fn crate_of(path: &str) -> &str {
@@ -285,24 +285,45 @@ fn crate_of(path: &str) -> &str {
         .unwrap_or("")
 }
 
+/// Name indices over a workspace's non-test, non-cold fns with bodies —
+/// the shared resolution substrate for the transitive hot-path walk and
+/// the interprocedural taint analysis. Deliberately under-approximate:
+/// a call that cannot be resolved confidently resolves to nothing.
+pub struct CallIndex<'a> {
+    by_name: BTreeMap<&'a str, Vec<Node>>,
+    by_qual: BTreeMap<(&'a str, &'a str), Vec<Node>>,
+}
+
+impl<'a> CallIndex<'a> {
+    /// Index every candidate callee in `files`.
+    pub fn build(files: &'a [WsFile]) -> Self {
+        let mut by_name: BTreeMap<&str, Vec<Node>> = BTreeMap::new();
+        let mut by_qual: BTreeMap<(&str, &str), Vec<Node>> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (gi, f) in file.items.fns.iter().enumerate() {
+                if f.in_test || f.cold || f.body_tokens.is_empty() {
+                    continue;
+                }
+                by_name.entry(&f.name).or_default().push((fi, gi));
+                if let Some(q) = &f.qual {
+                    by_qual.entry((q, &f.name)).or_default().push((fi, gi));
+                }
+            }
+        }
+        CallIndex { by_name, by_qual }
+    }
+
+    /// Resolve one call site to candidate workspace fns (possibly empty).
+    pub fn resolve(&self, call: &Call, caller: Node, files: &[WsFile]) -> Vec<Node> {
+        resolve(call, caller, files, &self.by_name, &self.by_qual)
+    }
+}
+
 /// Walk the call graph from every hot root and report allocating callees
 /// any depth away. Waivers for `hot-path-alloc-transitive` at the root's
 /// call site (or file-wide in the root's file) suppress the finding.
 pub fn transitive_findings(files: &[WsFile]) -> Vec<LintFinding> {
-    // Name indices over non-test, non-cold fns with bodies.
-    let mut by_name: BTreeMap<&str, Vec<Node>> = BTreeMap::new();
-    let mut by_qual: BTreeMap<(&str, &str), Vec<Node>> = BTreeMap::new();
-    for (fi, file) in files.iter().enumerate() {
-        for (gi, f) in file.items.fns.iter().enumerate() {
-            if f.in_test || f.cold || f.body_tokens.is_empty() {
-                continue;
-            }
-            by_name.entry(&f.name).or_default().push((fi, gi));
-            if let Some(q) = &f.qual {
-                by_qual.entry((q, &f.name)).or_default().push((fi, gi));
-            }
-        }
-    }
+    let index = CallIndex::build(files);
 
     // Per-node call edges and allocation sites.
     let mut edges: BTreeMap<Node, Vec<(Node, usize)>> = BTreeMap::new();
@@ -322,7 +343,7 @@ pub fn transitive_findings(files: &[WsFile]) -> Vec<LintFinding> {
                 if file.items.cold_call_at(call.line) {
                     continue;
                 }
-                for target in resolve(&call, node, files, &by_name, &by_qual) {
+                for target in index.resolve(&call, node, files) {
                     if target != node {
                         es.push((target, call.line));
                     }
@@ -366,6 +387,7 @@ pub fn transitive_findings(files: &[WsFile]) -> Vec<LintFinding> {
                                 rule: Rule::HotPathAllocTransitive,
                                 path: file.path.clone(),
                                 line: first_line,
+                                chain: chain.clone(),
                                 message: format!(
                                     "hot fn `{}` reaches `{}` in `{}` ({}:{}) via {}; hoist the allocation or mark the call `// doebench::cold-call`",
                                     f.name,

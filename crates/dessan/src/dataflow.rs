@@ -1,0 +1,327 @@
+//! A small worklist dataflow solver over [`crate::cfg::Cfg`].
+//!
+//! Analyses define a join-semilattice of facts ([`Lattice`]) and a
+//! per-block transfer function; [`solve`] iterates to a fixpoint and
+//! returns the fact at each block's *input* edge (entry facts for forward
+//! analyses, exit facts for backward ones). The caller then replays the
+//! transfer function inside interesting blocks to get per-step facts —
+//! this keeps the solver oblivious to step structure.
+//!
+//! The lattice is expressed as a destructive join (`join(&mut self, other)
+//! -> changed`) so may-analyses (set union) and must-analyses
+//! (`Option<Set>` with `None` = ⊤, intersection otherwise) both fit
+//! without allocation churn.
+
+use crate::cfg::Cfg;
+
+/// A join-semilattice fact. `join` merges `other` into `self` and reports
+/// whether `self` changed — the solver's termination signal. Joins must be
+/// monotone (repeated joins eventually stop changing).
+pub trait Lattice: Clone + PartialEq {
+    fn join(&mut self, other: &Self) -> bool;
+}
+
+/// Direction of propagation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// Facts flow entry → exit along successor edges.
+    Forward,
+    /// Facts flow exit → entry along predecessor edges.
+    Backward,
+}
+
+/// Solve a dataflow problem to fixpoint.
+///
+/// * `boundary` — the fact at the boundary block's input (the entry block
+///   for [`Dir::Forward`], the exit block for [`Dir::Backward`]).
+/// * `init` — the optimistic initial fact for every other block (⊥ for
+///   may-analyses, ⊤ for must-analyses).
+/// * `transfer(block, input) -> output` — the per-block transfer function.
+///
+/// Returns the *input* fact of every block: what holds on entry to the
+/// block for forward analyses, on exit from it for backward ones. Blocks
+/// unreachable in the chosen direction keep `init`.
+pub fn solve<F, T>(cfg: &Cfg, dir: Dir, boundary: F, init: F, mut transfer: T) -> Vec<F>
+where
+    F: Lattice,
+    T: FnMut(usize, &F) -> F,
+{
+    let n = cfg.blocks.len();
+    // Edges in the direction of propagation.
+    let flows_to: Vec<Vec<usize>> = match dir {
+        Dir::Forward => cfg.blocks.iter().map(|b| b.succs.clone()).collect(),
+        Dir::Backward => cfg.preds(),
+    };
+    let boundary_block = match dir {
+        Dir::Forward => cfg.entry,
+        Dir::Backward => cfg.exit,
+    };
+
+    let mut input: Vec<F> = vec![init; n];
+    input[boundary_block] = boundary;
+
+    let mut on_list = vec![false; n];
+    let mut worklist: Vec<usize> = (0..n).collect();
+    for w in &worklist {
+        on_list[*w] = true;
+    }
+    // Belt over monotonicity bugs: cap total iterations far above what a
+    // well-behaved analysis needs; bail silently (facts stay sound-ish,
+    // the analyses only ever *report*, never rewrite).
+    let mut fuel = n * 64 + 256;
+
+    while let Some(b) = worklist.pop() {
+        on_list[b] = false;
+        if fuel == 0 {
+            break;
+        }
+        fuel -= 1;
+        let out = transfer(b, &input[b]);
+        for &next in &flows_to[b] {
+            if input[next].join(&out) && !on_list[next] {
+                on_list[next] = true;
+                worklist.push(next);
+            }
+        }
+    }
+    input
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{build, LoopShape};
+    use crate::items::parse_source;
+    use std::collections::BTreeSet;
+
+    /// May-analysis fact: a set with union join.
+    #[derive(Clone, PartialEq, Default, Debug)]
+    struct Union(BTreeSet<&'static str>);
+
+    impl Lattice for Union {
+        fn join(&mut self, other: &Self) -> bool {
+            let before = self.0.len();
+            self.0.extend(other.0.iter().copied());
+            self.0.len() != before
+        }
+    }
+
+    /// Must-analysis fact: `None` = ⊤ (unvisited), otherwise intersect.
+    #[derive(Clone, PartialEq, Debug)]
+    struct Must(Option<BTreeSet<&'static str>>);
+
+    impl Lattice for Must {
+        fn join(&mut self, other: &Self) -> bool {
+            match (&mut self.0, &other.0) {
+                (_, None) => false,
+                (slot @ None, Some(o)) => {
+                    *slot = Some(o.clone());
+                    true
+                }
+                (Some(s), Some(o)) => {
+                    let before = s.len();
+                    s.retain(|x| o.contains(x));
+                    s.len() != before
+                }
+            }
+        }
+    }
+
+    fn diamond() -> crate::cfg::Cfg {
+        let src = "fn f(c: bool) { if c { t(); } else { e(); } after(); }";
+        let (tokens, items) = parse_source(src, &[]);
+        build(
+            src,
+            &tokens,
+            items.fns[0].body_tokens.clone(),
+            LoopShape::Natural,
+        )
+    }
+
+    #[test]
+    fn forward_union_reaches_join_from_both_branches() {
+        let cfg = diamond();
+        // Mark each non-empty block with its own label; union them forward.
+        let facts = solve(
+            &cfg,
+            Dir::Forward,
+            Union(BTreeSet::from(["start"])),
+            Union::default(),
+            |b, input| {
+                let mut out = input.clone();
+                if b != 0 && !cfg.blocks[b].steps.is_empty() {
+                    out.0.insert(if b % 2 == 0 { "even" } else { "odd" });
+                }
+                out
+            },
+        );
+        // Exit sees "start" plus whatever the branches added.
+        assert!(facts[cfg.exit].0.contains("start"));
+        assert!(facts[cfg.exit].0.len() >= 2);
+    }
+
+    #[test]
+    fn forward_must_intersects_at_joins() {
+        let cfg = diamond();
+        // Gen a branch-specific fact in each branch block; the join keeps
+        // only what BOTH paths establish.
+        let branch_blocks: Vec<usize> = cfg.blocks[cfg.entry].succs.clone();
+        let facts = solve(
+            &cfg,
+            Dir::Forward,
+            Must(Some(BTreeSet::new())),
+            Must(None),
+            |b, input| {
+                let mut out = input.clone();
+                if let Some(s) = &mut out.0 {
+                    s.insert("always");
+                    if b == branch_blocks[0] {
+                        s.insert("left-only");
+                    }
+                }
+                out
+            },
+        );
+        let at_exit = facts[cfg.exit].0.as_ref().unwrap();
+        assert!(at_exit.contains("always"));
+        assert!(!at_exit.contains("left-only"));
+    }
+
+    #[test]
+    fn backward_must_requires_fact_on_all_paths() {
+        // recv() only in the then-branch: at entry, a backward must-
+        // analysis of "recv happens later" must NOT hold.
+        let src = "fn f(c: bool) { send(); if c { recv(); } tail(); }";
+        let (tokens, items) = parse_source(src, &[]);
+        let cfg = build(
+            src,
+            &tokens,
+            items.fns[0].body_tokens.clone(),
+            LoopShape::Natural,
+        );
+        let texts: Vec<String> = cfg
+            .blocks
+            .iter()
+            .map(|b| {
+                b.steps
+                    .iter()
+                    .map(|s| match s {
+                        crate::cfg::Step::Code(ts) => ts
+                            .iter()
+                            .map(|&t| tokens[t].text(src))
+                            .collect::<Vec<_>>()
+                            .join(" "),
+                        _ => String::new(),
+                    })
+                    .collect::<Vec<_>>()
+                    .join(";")
+            })
+            .collect();
+        let facts = solve(
+            &cfg,
+            Dir::Backward,
+            Must(Some(BTreeSet::new())),
+            Must(None),
+            |b, input| {
+                let mut out = input.clone();
+                if let Some(s) = &mut out.0 {
+                    if texts[b].contains("recv") {
+                        s.insert("recv-ahead");
+                    }
+                }
+                out
+            },
+        );
+        // facts[] for Backward = exit fact of each block. The entry
+        // block's exit is post-`send(); c` — recv is not on all paths.
+        assert!(!facts[cfg.entry]
+            .0
+            .as_ref()
+            .is_some_and(|s| s.contains("recv-ahead")));
+        // But the then-branch block itself does guarantee it.
+        let then_b = cfg.blocks[cfg.entry]
+            .succs
+            .iter()
+            .copied()
+            .find(|&b| texts[b].contains("recv"))
+            .unwrap();
+        // Input (exit-side) fact joined from inside: transfer adds it.
+        let mut inside = facts[then_b].clone();
+        if let Some(s) = &mut inside.0 {
+            s.insert("recv-ahead");
+        }
+        assert!(inside.0.unwrap().contains("recv-ahead"));
+    }
+
+    #[test]
+    fn loop_fixpoint_terminates_and_propagates_around_back_edge() {
+        let src = "fn f(n: u32) { let mut x = 0; while x < n { x = step(x); } done(x); }";
+        let (tokens, items) = parse_source(src, &[]);
+        let cfg = build(
+            src,
+            &tokens,
+            items.fns[0].body_tokens.clone(),
+            LoopShape::Natural,
+        );
+        // Gen "looped" inside the loop body; forward-union: it must reach
+        // the loop head via the back edge and the after-block.
+        let texts: Vec<String> = cfg
+            .blocks
+            .iter()
+            .map(|b| {
+                b.steps
+                    .iter()
+                    .map(|s| match s {
+                        crate::cfg::Step::Code(ts) => ts
+                            .iter()
+                            .map(|&t| tokens[t].text(src))
+                            .collect::<Vec<_>>()
+                            .join(" "),
+                        _ => String::new(),
+                    })
+                    .collect::<Vec<_>>()
+                    .join(";")
+            })
+            .collect();
+        let body_blk = texts.iter().position(|t| t.contains("step")).unwrap();
+        let facts = solve(
+            &cfg,
+            Dir::Forward,
+            Union(BTreeSet::new()),
+            Union::default(),
+            |b, input| {
+                let mut out = input.clone();
+                if b == body_blk {
+                    out.0.insert("looped");
+                }
+                out
+            },
+        );
+        assert!(facts[cfg.exit].0.contains("looped"));
+        // And the loop head itself sees it (via the back edge).
+        let head = texts.iter().position(|t| t.contains("x < n")).unwrap();
+        assert!(facts[head].0.contains("looped"));
+    }
+
+    #[test]
+    fn unreachable_blocks_keep_init() {
+        let src = "fn f() { return; }";
+        let (tokens, items) = parse_source(src, &[]);
+        let cfg = build(
+            src,
+            &tokens,
+            items.fns[0].body_tokens.clone(),
+            LoopShape::Natural,
+        );
+        let facts = solve(
+            &cfg,
+            Dir::Forward,
+            Union(BTreeSet::from(["live"])),
+            Union::default(),
+            |_, input| input.clone(),
+        );
+        // The abort block is unreachable here and keeps the init fact.
+        assert!(facts[cfg.abort].0.is_empty());
+        assert!(facts[cfg.exit].0.contains("live"));
+    }
+}

@@ -12,6 +12,10 @@
 //!   `#[doebench::hot]` attribute spelling also works).
 //! * `// doebench::cold-call` — calls on this line (or the next) are
 //!   exempt from the transitive hot-path-alloc walk.
+//! * `// dessan::taint-source` — arms the next `fn` as a nondeterminism
+//!   taint source: the taint analysis treats its return value as tainted
+//!   at every call site (for sources the token rules can't see, e.g. FFI
+//!   or platform wrappers).
 //! * `// dessan::allow(<rule>): <reason>` — waives `<rule>` on this line
 //!   and the next. As an inner doc comment (`//! dessan::allow(...)`) it
 //!   applies to the whole file. The reason is mandatory: a waiver without
@@ -38,6 +42,9 @@ pub struct FnItem {
     pub hot: bool,
     /// Carries a `#[cold]` attribute — never part of a hot path.
     pub cold: bool,
+    /// Armed by a `dessan::taint-source` marker: the taint analysis
+    /// treats this fn's return value as nondeterministic.
+    pub taint_source: bool,
     /// Inside a `#[cfg(test)]` region or itself `#[test]`/`#[cfg(test)]`.
     pub in_test: bool,
 }
@@ -139,6 +146,7 @@ pub fn parse(src: &str, tokens: &[Token], extra_hot: &[String]) -> FileItems {
     // must *lead* its comment, so prose about markers (like this module's
     // docs) never arms either.
     let mut marker_lines: Vec<usize> = Vec::new();
+    let mut taint_marker_lines: Vec<usize> = Vec::new();
     for t in tokens {
         if !t.kind.is_comment() {
             continue;
@@ -146,6 +154,9 @@ pub fn parse(src: &str, tokens: &[Token], extra_hot: &[String]) -> FileItems {
         let text = t.text(src);
         if comment_leads_with(text, "doebench::hot") {
             marker_lines.push(t.line);
+        }
+        if comment_leads_with(text, "dessan::taint-source") {
+            taint_marker_lines.push(t.line);
         }
         if comment_leads_with(text, "doebench::cold-call") {
             if let Some(flag) = items.cold_call_lines.get_mut(t.line - 1) {
@@ -294,6 +305,7 @@ pub fn parse(src: &str, tokens: &[Token], extra_hot: &[String]) -> FileItems {
                             body_tokens: code[ci]..code[ci],
                             hot: attr("doebench::hot") || extra_hot.iter().any(|h| h == &name),
                             cold: attr("#[cold]") || attr("[cold]"),
+                            taint_source: false, // attributed after the pass
                             in_test,
                         });
                         pending = Some(Pending::Fn(items.fns.len() - 1));
@@ -326,6 +338,12 @@ pub fn parse(src: &str, tokens: &[Token], extra_hot: &[String]) -> FileItems {
     for m in marker_lines {
         if let Some(f) = items.fns.iter_mut().find(|f| f.sig_line >= m) {
             f.hot = true;
+        }
+    }
+    taint_marker_lines.sort_unstable();
+    for m in taint_marker_lines {
+        if let Some(f) = items.fns.iter_mut().find(|f| f.sig_line >= m) {
+            f.taint_source = true;
         }
     }
 

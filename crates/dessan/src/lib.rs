@@ -10,9 +10,19 @@
 //!    hash-ordered rendering, ambient env reads, unjustified `unsafe`,
 //!    panics in simulated runtimes, and allocations in or transitively
 //!    reachable from `// doebench::hot` functions). Run it with
-//!    `cargo run -p dessan --bin dessan-lint`; justified sites carry
-//!    in-source `dessan::allow(<rule>): <reason>` waivers next to the
-//!    code they excuse.
+//!    `cargo run -p dessan --bin dessan-lint` (add `--format json` for
+//!    machine-readable output); justified sites carry in-source
+//!    `dessan::allow(<rule>): <reason>` waivers next to the code they
+//!    excuse. On top of the same token stream sits a dataflow layer: an
+//!    intraprocedural CFG builder ([`cfg`]) and worklist solver
+//!    ([`dataflow`]) powering nondeterminism-taint tracking ([`taint`]:
+//!    source→sink chains from wall-clock/RNG/hash-order/env reads into
+//!    event timestamps, table cells, and FNV digests), units-flow
+//!    checking ([`unitsflow`]: mixed GB/GiB, ns/µs, byte arithmetic in
+//!    the sim crates), and API-protocol typestate checking ([`protocol`]:
+//!    `send_nb`/wait pairing, `event_record` before `stream_wait_event`,
+//!    buffer annotation before instrumented copies, no queue use after
+//!    `drain_until` without reschedule).
 //!
 //! 2. **Dynamic happens-before sanitizer** ([`checks`], [`vc`]): vector
 //!    clocks attached to ompsim threads, mpisim ranks, and gpurt
@@ -24,10 +34,15 @@
 //!    byte-identical tables.
 
 pub mod callgraph;
+pub mod cfg;
 pub mod checks;
+pub mod dataflow;
 pub mod items;
 pub mod lex;
 pub mod lint;
+pub mod protocol;
+pub mod taint;
+pub mod unitsflow;
 pub mod vc;
 
 pub use checks::{

@@ -3,7 +3,7 @@
 //! Since dessan v2 this is a syntax-aware scan: files are tokenized by the
 //! hand-rolled lossless lexer ([`crate::lex`]), structured into fn/impl/
 //! test-region items with line spans ([`crate::items`]), and linked into a
-//! workspace call graph ([`crate::callgraph`]). Eight rule classes:
+//! workspace call graph ([`crate::callgraph`]). Fourteen rule classes:
 //!
 //! | id                        | hazard                                              |
 //! |---------------------------|-----------------------------------------------------|
@@ -15,6 +15,17 @@
 //! | `unwrap-in-sim`           | `unwrap()`/`expect()` in sim-crate non-test code    |
 //! | `hot-path-alloc`          | per-call allocation in a `doebench::hot` function   |
 //! | `hot-path-alloc-transitive` | allocation reachable from a hot fn via the call graph |
+//! | `nondet-taint`            | nondeterministic value flows into an event time, table cell, or digest ([`crate::taint`]) |
+//! | `units-flow`              | mixed-unit arithmetic/comparison in the sim crates ([`crate::unitsflow`]) |
+//! | `protocol-send-wait`      | `send_nb` with no matching `recv`/wait on some path ([`crate::protocol`]) |
+//! | `protocol-event-order`    | `stream_wait_event` on an event not yet recorded    |
+//! | `protocol-buffer-annotate` | `memcpy_async` while launches have unannotated buffers |
+//! | `protocol-queue-drain`    | `EventQueue` read after `drain_until` without reschedule |
+//!
+//! The last six run on the dataflow layer ([`crate::cfg`] +
+//! [`crate::dataflow`]) rather than on raw token sequences, so their
+//! findings are path-aware: a `send_nb` answered on every control-flow
+//! path is clean, and a taint finding carries its source→sink chain.
 //!
 //! A function becomes hot by carrying a `doebench::hot` marker comment
 //! before (or on) its `fn` line, or by a `hot-fn path fn-name` line in
@@ -63,6 +74,20 @@ pub enum Rule {
     HotPathAlloc,
     /// Allocation reachable from a hot function through the call graph.
     HotPathAllocTransitive,
+    /// A nondeterministic value reaches an event time, table cell, or
+    /// FNV digest (dataflow taint, source→sink chain attached).
+    NondetTaint,
+    /// Mixed-unit arithmetic or comparison (µs vs ns, GB vs GiB, …).
+    UnitsFlow,
+    /// A `send_nb` that some path never answers with a recv/wait.
+    ProtocolSendWait,
+    /// `stream_wait_event` on an event with no prior `event_record`.
+    ProtocolEventOrder,
+    /// Instrumented `memcpy_async` while a launch's buffers are
+    /// unannotated.
+    ProtocolBufferAnnotate,
+    /// `EventQueue` read after `drain_until` with no reschedule between.
+    ProtocolQueueDrain,
 }
 
 impl Rule {
@@ -77,11 +102,17 @@ impl Rule {
             Rule::UnwrapInSim => "unwrap-in-sim",
             Rule::HotPathAlloc => "hot-path-alloc",
             Rule::HotPathAllocTransitive => "hot-path-alloc-transitive",
+            Rule::NondetTaint => "nondet-taint",
+            Rule::UnitsFlow => "units-flow",
+            Rule::ProtocolSendWait => "protocol-send-wait",
+            Rule::ProtocolEventOrder => "protocol-event-order",
+            Rule::ProtocolBufferAnnotate => "protocol-buffer-annotate",
+            Rule::ProtocolQueueDrain => "protocol-queue-drain",
         }
     }
 
     /// Every rule, in report order.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 14] = [
         Rule::WallClock,
         Rule::AdHocRng,
         Rule::HashOrder,
@@ -90,10 +121,16 @@ impl Rule {
         Rule::UnwrapInSim,
         Rule::HotPathAlloc,
         Rule::HotPathAllocTransitive,
+        Rule::NondetTaint,
+        Rule::UnitsFlow,
+        Rule::ProtocolSendWait,
+        Rule::ProtocolEventOrder,
+        Rule::ProtocolBufferAnnotate,
+        Rule::ProtocolQueueDrain,
     ];
 
     /// Position in [`Rule::ALL`], for stable report ordering.
-    fn order(self) -> usize {
+    pub(crate) fn order(self) -> usize {
         Rule::ALL
             .iter()
             .position(|r| *r == self)
@@ -112,6 +149,10 @@ pub struct LintFinding {
     pub line: usize,
     /// What was found.
     pub message: String,
+    /// Structured propagation chain for dataflow findings (source first,
+    /// sink last); empty for the token-level rules. The human-readable
+    /// message already narrates it — this field is for `--format json`.
+    pub chain: Vec<String>,
 }
 
 impl fmt::Display for LintFinding {
@@ -322,11 +363,18 @@ pub fn lint_file(path: &str, src: &str) -> Vec<LintFinding> {
 }
 
 /// [`lint_file`] with extra hot-function designations for this file
-/// (the `hot-fn` lines of `dessan.toml`, marker comments aside).
+/// (the `hot-fn` lines of `dessan.toml`, marker comments aside). Runs the
+/// token rules plus the single-file dataflow analyses (units-flow,
+/// protocol, intra-file taint); cross-file taint and the transitive
+/// hot-path walk need the whole workspace and run only in [`run`].
 pub fn lint_file_with_hot(path: &str, src: &str, extra_hot: &[String]) -> Vec<LintFinding> {
-    let tokens = lex::lex(src);
-    let its = items::parse(src, &tokens, extra_hot);
-    lint_parsed(path, src, &tokens, &its)
+    let file = callgraph::ws_file(path, src, extra_hot);
+    let mut findings = lint_parsed(path, src, &file.tokens, &file.items);
+    findings.extend(crate::unitsflow::findings(&file));
+    findings.extend(crate::protocol::findings(&file));
+    findings.extend(crate::taint::findings(std::slice::from_ref(&file)));
+    findings.sort_by_key(|f| (f.line, f.rule.order()));
+    findings
 }
 
 /// The per-file rules, over an already-lexed and parsed file.
@@ -372,6 +420,7 @@ fn lint_parsed(
                 path: path.to_string(),
                 line,
                 message,
+                chain: Vec::new(),
             });
         }
     };
@@ -680,10 +729,13 @@ pub fn run(root: &Path) -> std::io::Result<LintReport> {
             let hot = allow.hot_fns_for(&rel);
             let file = callgraph::ws_file(&rel, &text, &hot);
             raw_findings.extend(lint_parsed(&rel, &text, &file.tokens, &file.items));
+            raw_findings.extend(crate::unitsflow::findings(&file));
+            raw_findings.extend(crate::protocol::findings(&file));
             ws.push(file);
         }
     }
     raw_findings.extend(callgraph::transitive_findings(&ws));
+    raw_findings.extend(crate::taint::findings(&ws));
     raw_findings
         .sort_by(|a, b| (&a.path, a.line, a.rule.order()).cmp(&(&b.path, b.line, b.rule.order())));
     for finding in raw_findings {
@@ -955,6 +1007,7 @@ fn fast() { // closes like fn ghost() {
             path: "crates/foo/src/lib.rs".into(),
             line: 1,
             message: String::new(),
+            chain: Vec::new(),
         };
         assert!(allow.permits(&f));
         assert!(!allow.permits(&LintFinding {

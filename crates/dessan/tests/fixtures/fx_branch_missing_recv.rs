@@ -1,0 +1,20 @@
+//@ path: crates/mpisim/src/fx_branch_missing_recv.rs
+// Must-analysis over a diamond: the recv exists on one branch only, so
+// the send is NOT matched on every path and must be flagged. The second
+// function completes on both branches and is clean.
+
+fn maybe(w: &mut W, a: usize, b: usize, fast: bool) {
+    w.send_nb(a, b, 64); //~ protocol-send-wait
+    if fast {
+        w.recv(b, a, 64);
+    }
+}
+
+fn both(w: &mut W, a: usize, b: usize, fast: bool) {
+    w.send_nb(a, b, 64);
+    if fast {
+        w.recv(b, a, 64);
+    } else {
+        w.wait_all();
+    }
+}

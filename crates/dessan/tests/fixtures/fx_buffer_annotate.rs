@@ -1,0 +1,21 @@
+//@ path: crates/gpurt/src/fx_buffer_annotate.rs
+// Between a kernel launch and a memcpy_async there must be an
+// annotate_kernel_buffers (or a full synchronize), otherwise the race
+// detector cannot attribute the copy's buffers.
+
+fn racy(rt: &mut Rt, s1: &S, s2: &S, buf: B) {
+    rt.launch_kernel(s1, k, 1);
+    rt.memcpy_async(s2, buf, 64); //~ protocol-buffer-annotate
+}
+
+fn annotated(rt: &mut Rt, s1: &S, s2: &S, buf: B) {
+    rt.launch_kernel(s1, k, 1);
+    rt.annotate_kernel_buffers(s1, &[], &[buf]);
+    rt.memcpy_async(s2, buf, 64);
+}
+
+fn synced(rt: &mut Rt, s1: &S, s2: &S, buf: B) {
+    rt.launch_kernel(s1, k, 1);
+    rt.stream_synchronize(s1);
+    rt.memcpy_async(s2, buf, 64);
+}

@@ -1,0 +1,24 @@
+//@ path: crates/gpurt/src/fx_event_order.rs
+// event_record must happen-before stream_wait_event on ALL paths. The
+// first function records on one branch only; the second dominates the
+// wait; the third waits on an event parameter (caller's contract, not
+// checked here).
+
+fn racy(rt: &mut Rt, s1: &S, s2: &S, go: bool) {
+    let done;
+    if go {
+        done = rt.event_record(s1);
+    } else {
+        done = E::null();
+    }
+    rt.stream_wait_event(s2, &done); //~ protocol-event-order
+}
+
+fn ordered(rt: &mut Rt, s1: &S, s2: &S) {
+    let done = rt.event_record(s1);
+    rt.stream_wait_event(s2, &done);
+}
+
+fn from_caller(rt: &mut Rt, s: &S, done: &E) {
+    rt.stream_wait_event(s, done);
+}

@@ -1,0 +1,16 @@
+//@ path: crates/machines/src/fx_match_guard_units.rs
+// CFG edge case: a units mismatch inside a `match` arm guard. Guards
+// lower into their own code step on the arm block, so the comparison
+// `as_ns() < budget_us` must be visible to the units checker.
+
+fn pick(ms: &[M], budget_us: f64) -> usize {
+    let mut best = 0;
+    for (i, m) in ms.iter().enumerate() {
+        match m.class {
+            Class::Cpu if m.lat.as_ns() < budget_us => best = i, //~ units-flow
+            Class::Gpu if m.lat.as_us() < budget_us => best = i,
+            _ => {}
+        }
+    }
+    best
+}

@@ -1,0 +1,10 @@
+//@ path: crates/mpisim/src/fx_one_line_fns.rs
+// CFG edge case: one-line function bodies. The whole body is a single
+// statement run; entry/exit wiring must still make the protocol facts
+// flow (and a completion in the same statement run still counts).
+
+fn leak(w: &mut W, a: usize, b: usize) { w.send_nb(a, b, 64); } //~ protocol-send-wait
+
+fn ok(w: &mut W, a: usize, b: usize) { w.send_nb(a, b, 64); w.wait_all(); }
+
+fn tail(w: &mut W, a: usize, b: usize) -> R { w.send_nb(a, b, 64); w.recv(b, a, 64) }

@@ -1,0 +1,12 @@
+//@ path: crates/mpisim/src/fx_question_mark_vacuous.rs
+// CFG edge case: `?` creates an abort edge between the send and its
+// completion. The error path unwinds through the runtime, so the
+// send-wait rule must treat it as vacuously satisfied — this file is
+// expected to be clean.
+
+fn bail(w: &mut W, a: usize, b: usize) -> Result<(), E> {
+    w.send_nb(a, b, 64);
+    w.step()?;
+    w.recv(b, a, 64);
+    Ok(())
+}

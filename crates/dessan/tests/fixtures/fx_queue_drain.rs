@@ -1,0 +1,20 @@
+//@ path: crates/simtime/src/fx_queue_drain.rs
+// EventQueue typestate: after `drain_until` the queue is conceptually
+// empty; pops/peeks without an intervening `schedule` observe stale
+// state. Distinct receivers must not interfere.
+
+fn stale(q: &mut Q) {
+    q.drain_until(100);
+    let _ = q.pop(); //~ protocol-queue-drain
+}
+
+fn refilled(q: &mut Q, ev: Ev) {
+    q.drain_until(100);
+    q.schedule(200, ev);
+    let _ = q.pop();
+}
+
+fn other_queue(q: &mut Q, r: &mut Q) {
+    q.drain_until(100);
+    let _ = r.peek_time();
+}

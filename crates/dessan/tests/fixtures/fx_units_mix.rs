@@ -1,0 +1,21 @@
+//@ path: crates/memmodel/src/fx_units_mix.rs
+// Units-flow basics: decimal-vs-binary bandwidth, micro-vs-nano time,
+// division as a sanitizing dimension change, and normalizing `from_*`
+// constructors producing no facts.
+
+fn check(peak_gb_s: f64, meas_gib_s: f64, lat_us: f64, lat_ns: f64) -> bool {
+    let a = peak_gb_s >= meas_gib_s; //~ units-flow
+    let b = lat_us < lat_ns; //~ units-flow
+    let c = lat_ns / 1000.0 < lat_us;
+    a && b && c
+}
+
+fn carried(m: &M) -> f64 {
+    let send = m.send.as_us();
+    let recv = m.recv.as_ns();
+    send + recv //~ units-flow
+}
+
+fn norm(a: u64, b: u64) -> SimDuration {
+    SimDuration::from_us(a) + SimDuration::from_ns(b)
+}
