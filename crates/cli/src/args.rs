@@ -1,0 +1,326 @@
+//! A typed command-line parser for the `doebench` subcommands.
+//!
+//! Replaces the old ad-hoc `args.iter().position(...)` scanning, which
+//! silently ignored unknown flags, accepted `--jobs` with a missing or
+//! zero value only by `die()`ing inconsistently, and let `--md --csv`
+//! fall through to whichever branch was checked first. Every subcommand
+//! now declares its flags once ([`CmdSpec`]); parsing yields typed
+//! values, duplicate and conflicting flags are clean errors, and usage
+//! text is generated from the same declarations it validates against.
+
+use std::fmt::Write as _;
+
+/// What kind of value a flag carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Present/absent.
+    Bool,
+    /// Unsigned integer with an inclusive minimum (`--jobs 0` is how a
+    /// typo looks, not a request for zero workers).
+    UInt {
+        /// Smallest accepted value.
+        min: u64,
+    },
+    /// Free-form string.
+    Str,
+}
+
+/// One declared flag.
+pub struct Flag {
+    /// Name without the leading `--`.
+    pub name: &'static str,
+    /// Value type.
+    pub kind: Kind,
+    /// Placeholder shown in usage for valued flags (`N`, `PATH`).
+    pub value_name: &'static str,
+    /// One-line description for the usage text.
+    pub help: &'static str,
+    /// Flags that cannot be combined with this one.
+    pub conflicts: &'static [&'static str],
+}
+
+impl Flag {
+    /// A boolean flag.
+    pub const fn bool(name: &'static str, help: &'static str) -> Flag {
+        Flag {
+            name,
+            kind: Kind::Bool,
+            value_name: "",
+            help,
+            conflicts: &[],
+        }
+    }
+
+    /// A boolean flag that excludes others.
+    pub const fn excl(
+        name: &'static str,
+        help: &'static str,
+        conflicts: &'static [&'static str],
+    ) -> Flag {
+        Flag {
+            name,
+            kind: Kind::Bool,
+            value_name: "",
+            help,
+            conflicts,
+        }
+    }
+
+    /// An unsigned-integer flag with a minimum.
+    pub const fn uint(
+        name: &'static str,
+        value_name: &'static str,
+        min: u64,
+        help: &'static str,
+    ) -> Flag {
+        Flag {
+            name,
+            kind: Kind::UInt { min },
+            value_name,
+            help,
+            conflicts: &[],
+        }
+    }
+
+    /// A string flag.
+    pub const fn string(name: &'static str, value_name: &'static str, help: &'static str) -> Flag {
+        Flag {
+            name,
+            kind: Kind::Str,
+            value_name,
+            help,
+            conflicts: &[],
+        }
+    }
+}
+
+/// One subcommand's declaration.
+pub struct CmdSpec {
+    /// Subcommand name.
+    pub name: &'static str,
+    /// Positional-argument summary for usage (`"[machine...]"`).
+    pub positionals: &'static str,
+    /// One-line description.
+    pub about: &'static str,
+    /// Accepted flags.
+    pub flags: &'static [Flag],
+}
+
+impl CmdSpec {
+    fn flag(&self, name: &str) -> Option<&'static Flag> {
+        self.flags.iter().find(|f| f.name == name)
+    }
+
+    /// The generated one-line usage string.
+    pub fn usage(&self) -> String {
+        let mut u = format!("usage: doebench {}", self.name);
+        if !self.positionals.is_empty() {
+            let _ = write!(u, " {}", self.positionals);
+        }
+        for f in self.flags {
+            match f.kind {
+                Kind::Bool => {
+                    let _ = write!(u, " [--{}]", f.name);
+                }
+                _ => {
+                    let _ = write!(u, " [--{} {}]", f.name, f.value_name);
+                }
+            }
+        }
+        u
+    }
+
+    /// The generated multi-line help block (usage + per-flag lines).
+    pub fn help(&self) -> String {
+        let mut h = format!("{}\n  {}\n", self.usage(), self.about);
+        if !self.flags.is_empty() {
+            h.push_str("options:\n");
+            for f in self.flags {
+                let head = match f.kind {
+                    Kind::Bool => format!("--{}", f.name),
+                    _ => format!("--{} {}", f.name, f.value_name),
+                };
+                let _ = writeln!(h, "  {head:<18} {}", f.help);
+            }
+        }
+        h
+    }
+}
+
+/// A parsed value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// From a [`Kind::Bool`] flag.
+    Bool,
+    /// From a [`Kind::UInt`] flag.
+    UInt(u64),
+    /// From a [`Kind::Str`] flag.
+    Str(String),
+}
+
+/// A successfully parsed command line for one subcommand.
+#[derive(Debug)]
+pub struct Parsed {
+    flags: Vec<(&'static str, Value)>,
+    /// Non-flag arguments, in order.
+    pub positionals: Vec<String>,
+}
+
+impl Parsed {
+    /// Whether a boolean flag was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| *n == name)
+    }
+
+    /// The value of an integer flag, if given.
+    pub fn uint(&self, name: &str) -> Option<u64> {
+        self.flags.iter().find_map(|(n, v)| match v {
+            Value::UInt(u) if *n == name => Some(*u),
+            _ => None,
+        })
+    }
+
+    /// The value of a string flag, if given.
+    pub fn str(&self, name: &str) -> Option<&str> {
+        self.flags.iter().find_map(|(n, v)| match v {
+            Value::Str(s) if *n == name => Some(s.as_str()),
+            _ => None,
+        })
+    }
+}
+
+/// Parse a subcommand's arguments against its spec.
+///
+/// Accepts `--flag value` and `--flag=value`; rejects unknown flags,
+/// duplicates, conflicting combinations, missing values, non-numeric or
+/// below-minimum integers. Everything that does not start with `--` is
+/// a positional.
+pub fn parse(spec: &CmdSpec, args: &[String]) -> Result<Parsed, String> {
+    let mut parsed = Parsed {
+        flags: Vec::new(),
+        positionals: Vec::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let Some(stripped) = arg.strip_prefix("--") else {
+            parsed.positionals.push(arg.clone());
+            i += 1;
+            continue;
+        };
+        let (name, inline) = match stripped.split_once('=') {
+            Some((n, v)) => (n, Some(v.to_string())),
+            None => (stripped, None),
+        };
+        let flag = spec
+            .flag(name)
+            .ok_or_else(|| format!("unknown flag --{name}\n{}", spec.usage()))?;
+        if parsed.has(flag.name) {
+            return Err(format!("--{name} given more than once"));
+        }
+        let value = match flag.kind {
+            Kind::Bool => {
+                if inline.is_some() {
+                    return Err(format!("--{name} takes no value"));
+                }
+                Value::Bool
+            }
+            Kind::UInt { min } => {
+                let raw = take_value(args, &mut i, name, inline)?;
+                let v: u64 = raw
+                    .parse()
+                    .map_err(|_| format!("--{name} needs an integer, got '{raw}'"))?;
+                if v < min {
+                    return Err(format!("--{name} must be at least {min}, got {v}"));
+                }
+                Value::UInt(v)
+            }
+            Kind::Str => Value::Str(take_value(args, &mut i, name, inline)?),
+        };
+        for c in flag.conflicts {
+            if parsed.has(c) {
+                return Err(format!("--{name} conflicts with --{c}"));
+            }
+        }
+        parsed.flags.push((flag.name, value));
+        i += 1;
+    }
+    Ok(parsed)
+}
+
+fn take_value(
+    args: &[String],
+    i: &mut usize,
+    name: &str,
+    inline: Option<String>,
+) -> Result<String, String> {
+    if let Some(v) = inline {
+        return Ok(v);
+    }
+    *i += 1;
+    args.get(*i)
+        .filter(|v| !v.starts_with("--"))
+        .cloned()
+        .ok_or_else(|| format!("--{name} needs a value"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: CmdSpec = CmdSpec {
+        name: "demo",
+        positionals: "[machine...]",
+        about: "demo command",
+        flags: &[
+            Flag::bool("full", "paper protocol"),
+            Flag::uint("jobs", "N", 1, "worker threads"),
+            Flag::excl("md", "markdown", &["csv"]),
+            Flag::excl("csv", "csv", &["md"]),
+            Flag::string("outdir", "DIR", "artifact directory"),
+        ],
+    };
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn typed_values_and_positionals() {
+        let p = parse(&SPEC, &v(&["Frontier", "--full", "--jobs", "4", "Eagle"])).unwrap();
+        assert!(p.has("full"));
+        assert_eq!(p.uint("jobs"), Some(4));
+        assert_eq!(p.positionals, vec!["Frontier", "Eagle"]);
+        let p = parse(&SPEC, &v(&["--jobs=8", "--outdir=out"])).unwrap();
+        assert_eq!(p.uint("jobs"), Some(8));
+        assert_eq!(p.str("outdir"), Some("out"));
+    }
+
+    #[test]
+    fn jobs_zero_is_a_clean_error() {
+        let e = parse(&SPEC, &v(&["--jobs", "0"])).unwrap_err();
+        assert!(e.contains("at least 1"), "{e}");
+        let e = parse(&SPEC, &v(&["--jobs", "many"])).unwrap_err();
+        assert!(e.contains("needs an integer"), "{e}");
+        let e = parse(&SPEC, &v(&["--jobs"])).unwrap_err();
+        assert!(e.contains("needs a value"), "{e}");
+    }
+
+    #[test]
+    fn duplicates_and_conflicts_are_errors() {
+        let e = parse(&SPEC, &v(&["--full", "--full"])).unwrap_err();
+        assert!(e.contains("more than once"), "{e}");
+        let e = parse(&SPEC, &v(&["--md", "--csv"])).unwrap_err();
+        assert!(e.contains("conflicts with"), "{e}");
+        let e = parse(&SPEC, &v(&["--nope"])).unwrap_err();
+        assert!(e.contains("unknown flag"), "{e}");
+    }
+
+    #[test]
+    fn usage_is_generated_from_the_spec() {
+        let u = SPEC.usage();
+        assert!(u.starts_with("usage: doebench demo [machine...]"));
+        assert!(u.contains("[--jobs N]"));
+        assert!(SPEC.help().contains("worker threads"));
+    }
+}

@@ -106,3 +106,57 @@ fn csv_rendering_flag_applies() {
     assert!(stdout.starts_with("Rank/Name,"));
     assert!(stdout.lines().count() >= 14);
 }
+
+#[test]
+fn conflicting_format_flags_are_rejected() {
+    let (_, stderr, ok) = doebench(&["machines", "--md", "--csv"]);
+    assert!(!ok);
+    assert!(stderr.contains("conflicts with"), "{stderr}");
+}
+
+#[test]
+fn jobs_zero_is_rejected_cleanly() {
+    let (_, stderr, ok) = doebench(&["table1", "--jobs", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("at least 1"), "{stderr}");
+}
+
+#[test]
+fn unknown_flag_prints_generated_usage() {
+    let (_, stderr, ok) = doebench(&["table4", "--frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag --frobnicate"), "{stderr}");
+    assert!(stderr.contains("usage: doebench table4"), "{stderr}");
+}
+
+#[test]
+fn per_command_help_is_generated() {
+    let (stdout, _, ok) = doebench(&["table4", "--help"]);
+    assert!(ok);
+    assert!(stdout.contains("usage: doebench table4 [machine...]"));
+    assert!(stdout.contains("--json"));
+}
+
+#[test]
+fn table4_accepts_a_machine_subset() {
+    let (stdout, _, ok) = doebench(&["table4", "Eagle"]);
+    assert!(ok);
+    assert!(stdout.contains("127. Eagle"));
+    assert!(!stdout.contains("29. Trinity"));
+    let (_, stderr, ok) = doebench(&["table4", "NoSuchMachine"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown machine"), "{stderr}");
+}
+
+#[test]
+fn local_query_matches_the_table_subcommand() {
+    let (direct, _, ok) = doebench(&["table4"]);
+    assert!(ok);
+    let (queried, stderr, ok) = doebench(&["query", "--local", "table4"]);
+    assert!(ok);
+    assert_eq!(direct, queried, "query path must be byte-identical");
+    assert!(stderr.contains("computed locally"), "{stderr}");
+    let (json, _, ok) = doebench(&["query", "--local", "table4", "--format", "json"]);
+    assert!(ok);
+    assert!(json.starts_with("{\"code_version\""), "{json}");
+}

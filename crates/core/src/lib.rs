@@ -37,6 +37,7 @@ pub mod campaign;
 pub mod experiments;
 pub mod explain;
 pub mod figures;
+pub mod query;
 pub mod sched;
 pub mod studies;
 pub mod table4;

@@ -4,7 +4,7 @@ use doe_babelstream::{run_sim_cpu, CpuStreamReport};
 use doe_benchlib::Summary;
 use doe_machines::{paper, Machine};
 use doe_osu::{on_node_pair, on_socket_pair, osu_latency};
-use doe_report::{pm_summary, Comparison, Table};
+use doe_report::{CellValue, Comparison, Table, TableResult, Unit};
 
 use crate::campaign::Campaign;
 use crate::sched::run_cells;
@@ -116,23 +116,38 @@ pub fn run(c: &Campaign) -> Vec<Row> {
         .collect()
 }
 
-/// Render rows in the paper's layout.
-pub fn render(rows: &[Row]) -> Table {
-    let mut t = Table::new(
+/// Assemble rows into the structured table (the paper's layout, typed).
+pub fn result(rows: &[Row]) -> TableResult {
+    let mut t = TableResult::new(
+        "table4",
         "Table 4: memory bandwidth (GB/s) and MPI latency (us), non-accelerator systems",
-        &["Rank/Name", "Single", "All", "Peak", "On-Socket", "On-Node"],
     );
+    t.push_column("Rank/Name", Unit::None);
+    t.push_column("Single", Unit::GbPerS);
+    t.push_column("All", Unit::GbPerS);
+    t.push_column("Peak", Unit::GbPerS);
+    t.push_column("On-Socket", Unit::Micros);
+    t.push_column("On-Node", Unit::Micros);
     for r in rows {
-        t.push_row(vec![
-            r.label.clone(),
-            pm_summary(&r.single),
-            pm_summary(&r.all),
-            r.peak.to_string(),
-            pm_summary(&r.on_socket),
-            pm_summary(&r.on_node),
-        ]);
+        t.push_row(
+            Some(&r.machine),
+            vec![
+                CellValue::Text(r.label.clone()),
+                CellValue::Stat(r.single),
+                CellValue::Stat(r.all),
+                CellValue::Text(r.peak.to_string()),
+                CellValue::Stat(r.on_socket),
+                CellValue::Stat(r.on_node),
+            ],
+        );
     }
     t
+}
+
+/// Render rows in the paper's layout (legacy string-table view of
+/// [`result`]; byte-identical output).
+pub fn render(rows: &[Row]) -> Table {
+    result(rows).to_table()
 }
 
 /// Render a paper-vs-measured comparison of the means.

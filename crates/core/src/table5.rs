@@ -8,7 +8,8 @@ use doe_babelstream::run_sim_gpu;
 use doe_benchlib::Summary;
 use doe_machines::{paper, Machine};
 use doe_osu::{on_socket_pair, osu_latency, osu_latency_device};
-use doe_report::{pm_summary, Comparison, Table};
+use doe_report::CellValue;
+use doe_report::{Comparison, Table, TableResult, Unit};
 use doe_topo::{CoreId, DeviceId, LinkClass, NodeTopology};
 
 use crate::campaign::Campaign;
@@ -159,38 +160,47 @@ pub fn run(c: &Campaign) -> Vec<Row> {
         .collect()
 }
 
-fn class_cell(r: &BTreeMap<LinkClass, Summary>, class: LinkClass) -> String {
-    r.get(&class).map(pm_summary).unwrap_or_default()
+fn class_cell(r: &BTreeMap<LinkClass, Summary>, class: LinkClass) -> CellValue {
+    r.get(&class)
+        .map(|s| CellValue::Stat(*s))
+        .unwrap_or(CellValue::Missing)
 }
 
-/// Render rows in the paper's layout.
-pub fn render(rows: &[Row]) -> Table {
-    let mut t = Table::new(
+/// Assemble rows into the structured table (the paper's layout, typed).
+pub fn result(rows: &[Row]) -> TableResult {
+    let mut t = TableResult::new(
+        "table5",
         "Table 5: device bandwidth (GB/s) and MPI latency (us), accelerator systems",
-        &[
-            "Rank/Name",
-            "Device",
-            "Peak",
-            "Host-to-Host",
-            "A",
-            "B",
-            "C",
-            "D",
-        ],
     );
+    t.push_column("Rank/Name", Unit::None);
+    t.push_column("Device", Unit::GbPerS);
+    t.push_column("Peak", Unit::GbPerS);
+    t.push_column("Host-to-Host", Unit::Micros);
+    for class in ["A", "B", "C", "D"] {
+        t.push_column(class, Unit::Micros);
+    }
     for r in rows {
-        t.push_row(vec![
-            r.label.clone(),
-            pm_summary(&r.device_bw),
-            r.peak.to_string(),
-            pm_summary(&r.host_to_host),
-            class_cell(&r.d2d, LinkClass::A),
-            class_cell(&r.d2d, LinkClass::B),
-            class_cell(&r.d2d, LinkClass::C),
-            class_cell(&r.d2d, LinkClass::D),
-        ]);
+        t.push_row(
+            Some(&r.machine),
+            vec![
+                CellValue::Text(r.label.clone()),
+                CellValue::Stat(r.device_bw),
+                CellValue::Text(r.peak.to_string()),
+                CellValue::Stat(r.host_to_host),
+                class_cell(&r.d2d, LinkClass::A),
+                class_cell(&r.d2d, LinkClass::B),
+                class_cell(&r.d2d, LinkClass::C),
+                class_cell(&r.d2d, LinkClass::D),
+            ],
+        );
     }
     t
+}
+
+/// Render rows in the paper's layout (legacy string-table view of
+/// [`result`]; byte-identical output).
+pub fn render(rows: &[Row]) -> Table {
+    result(rows).to_table()
 }
 
 /// Render a paper-vs-measured comparison of the means.

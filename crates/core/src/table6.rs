@@ -2,7 +2,7 @@
 
 use doe_commscope::{run_commscope, CommScopeReport};
 use doe_machines::{paper, Machine};
-use doe_report::{pm_summary, Comparison, Table};
+use doe_report::{CellValue, Comparison, Table, TableResult, Unit};
 use doe_topo::LinkClass;
 
 use crate::campaign::Campaign;
@@ -49,43 +49,50 @@ pub fn run(c: &Campaign) -> Vec<Row> {
     run_cells(&machines, |m| run_machine(m, c))
 }
 
-fn class_cell(r: &Row, class: LinkClass) -> String {
+fn class_cell(r: &Row, class: LinkClass) -> CellValue {
     r.d2d_latency_us
         .get(&class)
-        .map(pm_summary)
-        .unwrap_or_default()
+        .map(|s| CellValue::Stat(*s))
+        .unwrap_or(CellValue::Missing)
 }
 
-/// Render rows in the paper's layout.
-pub fn render(rows: &[Row]) -> Table {
-    let mut t = Table::new(
+/// Assemble rows into the structured table (the paper's layout, typed).
+pub fn result(rows: &[Row]) -> TableResult {
+    let mut t = TableResult::new(
+        "table6",
         "Table 6: kernel launch/wait latencies (us), memcpy latency (us) and bandwidth (GB/s)",
-        &[
-            "Rank/Name",
-            "Launch",
-            "Wait",
-            "(H2D+D2H)/2 Lat",
-            "(H2D+D2H)/2 BW",
-            "A",
-            "B",
-            "C",
-            "D",
-        ],
     );
+    t.push_column("Rank/Name", Unit::None);
+    t.push_column("Launch", Unit::Micros);
+    t.push_column("Wait", Unit::Micros);
+    t.push_column("(H2D+D2H)/2 Lat", Unit::Micros);
+    t.push_column("(H2D+D2H)/2 BW", Unit::GbPerS);
+    for class in ["A", "B", "C", "D"] {
+        t.push_column(class, Unit::Micros);
+    }
     for r in rows {
-        t.push_row(vec![
-            r.label.clone(),
-            pm_summary(&r.launch_us),
-            pm_summary(&r.wait_us),
-            pm_summary(&r.hd_latency_us),
-            pm_summary(&r.hd_bandwidth_gb_s),
-            class_cell(r, LinkClass::A),
-            class_cell(r, LinkClass::B),
-            class_cell(r, LinkClass::C),
-            class_cell(r, LinkClass::D),
-        ]);
+        t.push_row(
+            Some(&r.machine),
+            vec![
+                CellValue::Text(r.label.clone()),
+                CellValue::Stat(r.launch_us),
+                CellValue::Stat(r.wait_us),
+                CellValue::Stat(r.hd_latency_us),
+                CellValue::Stat(r.hd_bandwidth_gb_s),
+                class_cell(r, LinkClass::A),
+                class_cell(r, LinkClass::B),
+                class_cell(r, LinkClass::C),
+                class_cell(r, LinkClass::D),
+            ],
+        );
     }
     t
+}
+
+/// Render rows in the paper's layout (legacy string-table view of
+/// [`result`]; byte-identical output).
+pub fn render(rows: &[Row]) -> Table {
+    result(rows).to_table()
 }
 
 /// Render a paper-vs-measured comparison of the means.

@@ -5,7 +5,7 @@
 //! by providing ranges for all of the mean values reported in the
 //! tables").
 
-use doe_report::Table;
+use doe_report::{CellValue, Table, TableResult, Unit};
 
 use crate::{table5, table6};
 
@@ -137,34 +137,51 @@ pub fn run(c: &crate::Campaign) -> Vec<Row> {
     summarize(&t5, &t6)
 }
 
-/// Render rows in the paper's layout.
-pub fn render(rows: &[Row]) -> Table {
-    let mut t = Table::new(
+impl Range {
+    fn value(&self) -> CellValue {
+        CellValue::Range {
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+/// Assemble rows into the structured table (the paper's layout, typed).
+pub fn result(rows: &[Row]) -> TableResult {
+    let mut t = TableResult::new(
+        "table7",
         "Table 7: min-max ranges across accelerator generations",
-        &[
-            "Accelerator",
-            "Memory BW",
-            "MPI Lat.",
-            "Kernel Launch",
-            "Kernel Wait",
-            "H2D/D2H Lat.",
-            "H2D/D2H BW",
-            "D2D Lat.",
-        ],
     );
+    t.push_column("Accelerator", Unit::None);
+    t.push_column("Memory BW", Unit::GbPerS);
+    t.push_column("MPI Lat.", Unit::Micros);
+    t.push_column("Kernel Launch", Unit::Micros);
+    t.push_column("Kernel Wait", Unit::Micros);
+    t.push_column("H2D/D2H Lat.", Unit::Micros);
+    t.push_column("H2D/D2H BW", Unit::GbPerS);
+    t.push_column("D2D Lat.", Unit::Micros);
     for r in rows {
-        t.push_row(vec![
-            r.accelerator.label().to_string(),
-            r.memory_bw.cell(),
-            r.mpi_latency.cell(),
-            r.kernel_launch.cell(),
-            r.kernel_wait.cell(),
-            r.hd_latency.cell(),
-            r.hd_bandwidth.cell(),
-            r.d2d_latency.cell(),
-        ]);
+        t.push_row(
+            None,
+            vec![
+                CellValue::Text(r.accelerator.label().to_string()),
+                r.memory_bw.value(),
+                r.mpi_latency.value(),
+                r.kernel_launch.value(),
+                r.kernel_wait.value(),
+                r.hd_latency.value(),
+                r.hd_bandwidth.value(),
+                r.d2d_latency.value(),
+            ],
+        );
     }
     t
+}
+
+/// Render rows in the paper's layout (legacy string-table view of
+/// [`result`]; byte-identical output).
+pub fn render(rows: &[Row]) -> Table {
+    result(rows).to_table()
 }
 
 #[cfg(test)]

@@ -1,0 +1,241 @@
+//! A deliberately small HTTP/1.1 layer over `std::net`.
+//!
+//! Hand-rolled because the build environment has no crates.io access
+//! (no hyper, no tokio). The daemon's needs are narrow: parse a request
+//! line, a handful of headers, and an optional `Content-Length` body;
+//! write a status line, headers, and a body; `Connection: close` on
+//! every response so connection lifecycle stays trivial. No chunked
+//! encoding, no keep-alive, no TLS — campaign queries are long-lived
+//! computations, not a hot request path.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Cap on header block and body sizes; a query is at most a few KB.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request.
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Path component, percent-decoded (`/query`).
+    pub path: String,
+    /// Raw query string (undecoded; split first, decode per value).
+    pub query: String,
+    /// Body bytes (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The value of a query-string parameter, percent-decoded.
+    pub fn param(&self, name: &str) -> Option<String> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then(|| percent_decode(v))
+        })
+    }
+}
+
+/// A malformed request (mapped to 400 by the server loop).
+#[derive(Debug)]
+pub struct HttpError(pub String);
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+fn err(msg: impl Into<String>) -> HttpError {
+    HttpError(msg.into())
+}
+
+/// Decode `%XX` escapes and `+` (form-style spaces).
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 2;
+                    }
+                    None => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Encode a string for use inside a query-string value.
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => {
+                out.push('%');
+                out.push_str(&format!("{b:02X}"));
+            }
+        }
+    }
+    out
+}
+
+/// Read and parse one request from a stream.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut header_bytes = 0;
+
+    reader
+        .read_line(&mut line)
+        .map_err(|e| err(format!("read request line: {e}")))?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or_else(|| err("empty request line"))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| err("request line has no target"))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| err("request line has no version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(err(format!("unsupported version {version}")));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+
+    let mut content_length = 0usize;
+    loop {
+        let mut h = String::new();
+        let n = reader
+            .read_line(&mut h)
+            .map_err(|e| err(format!("read header: {e}")))?;
+        header_bytes += n;
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(err("header block too large"));
+        }
+        let h = h.trim_end();
+        if n == 0 || h.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = h.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| err("bad Content-Length"))?;
+                if content_length > MAX_BODY_BYTES {
+                    return Err(err("body too large"));
+                }
+            }
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader
+            .read_exact(&mut body)
+            .map_err(|e| err(format!("read body: {e}")))?;
+    }
+
+    Ok(Request {
+        method: method.to_string(),
+        path: percent_decode(path),
+        query: query.to_string(),
+        body,
+    })
+}
+
+/// A response under construction.
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers (name, value) beyond the standard set.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+}
+
+impl Response {
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
+            content_type: "text/plain; charset=utf-8",
+        }
+    }
+
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
+            content_type: "application/json",
+        }
+    }
+
+    /// Append a header.
+    pub fn header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serialize and send over a stream (always `Connection: close`).
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason());
+        head.push_str(&format!("Content-Type: {}\r\n", self.content_type));
+        head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        for (k, v) in &self.headers {
+            head.push_str(&format!("{k}: {v}\r\n"));
+        }
+        head.push_str("Connection: close\r\n\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_roundtrip() {
+        let raw = "table5@paper Frontier seed=0x7";
+        let enc = percent_encode(raw);
+        assert!(!enc.contains(' '));
+        assert_eq!(percent_decode(&enc), raw);
+        assert_eq!(percent_decode("a+b%20c"), "a b c");
+        assert_eq!(percent_decode("100%"), "100%");
+    }
+}

@@ -8,10 +8,14 @@
 
 pub mod chart;
 pub mod compare;
+pub mod json;
+pub mod result;
 pub mod table;
 
 pub use chart::{LineChart, Series};
 pub use compare::Comparison;
+pub use json::Json;
+pub use result::{render, CellValue, Column, Format, ResultRow, TableResult, Unit};
 pub use table::Table;
 
 /// Format a mean/σ pair the way the paper's tables print them.
