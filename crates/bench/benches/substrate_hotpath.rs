@@ -29,9 +29,9 @@ use doebench::benchlib::set_jobs;
 use doebench::dessan::VectorClock;
 use doebench::gpurt::testkit::dual_gpu_runtime;
 use doebench::gpurt::Buffer;
-use doebench::mpi::{MpiConfig, MpiSim, Storm, StormConfig};
-use doebench::net::{NetStorm, NetStormConfig};
-use doebench::simtime::{EventQueue, QueuePolicy, SimDuration, SimRng, SimTime};
+use doebench::mpi::{MpiConfig, MpiSim, ShardedStorm, Storm, StormConfig};
+use doebench::net::{NetStorm, NetStormConfig, ShardedNetStorm};
+use doebench::simtime::{EventQueue, QueuePolicy, ShardPolicy, SimDuration, SimRng, SimTime};
 use doebench::topo::{CoreId, DeviceId, NumaId};
 use doebench::{table4, table5, table6, table7, Campaign};
 
@@ -180,6 +180,32 @@ fn mpisim_storm_10k_heap_ns() -> f64 {
     mpisim_storm_ns(10_000, QueuePolicy::Heap)
 }
 
+/// Steady-state round-trip cost on the sharded conservative-window driver
+/// (4 shards; worker count = host cores, via `set_jobs(0)`). The horizons
+/// come from a serial probe so the timed window covers the same
+/// virtual-time slice as [`mpisim_storm_10k_ns`]; the artifact records the
+/// ratio as `mpisim_storm_10k_sharded_speedup_vs_serial` (~1× on a 1-core
+/// CI host — the driver is bit-identical, not free).
+fn mpisim_storm_10k_sharded_ns() -> f64 {
+    const EVENTS: u64 = 25_000;
+    set_jobs(0);
+    let cfg = StormConfig::with_ranks(10_000);
+    let warm_events = 2 * cfg.pairs as u64;
+    let mut probe = Storm::new(&cfg, QueuePolicy::Auto, 0xD0E).expect("probe world");
+    probe.run(warm_events).expect("probe warm-up");
+    let h_warm = probe.report().final_time;
+    probe.run(warm_events + EVENTS).expect("probe run");
+    let h_end = probe.report().final_time;
+
+    let mut storm = ShardedStorm::new(&cfg, ShardPolicy::Sharded(4), QueuePolicy::Auto, 0xD0E)
+        .expect("sharded storm");
+    let warm = storm.run_until(h_warm).expect("warm-up");
+    let ns = time_ns(|| {
+        storm.run_until(h_end).expect("storm run");
+    });
+    (ns / (storm.report().events - warm).max(1) as f64).max(f64::MIN_POSITIVE)
+}
+
 /// Fabric storm: lock-step pairs, so round trips drain in wide
 /// same-timestamp batches through `pop_batch`.
 fn netsim_storm_1k_ns() -> f64 {
@@ -191,6 +217,28 @@ fn netsim_storm_1k_ns() -> f64 {
     time_ns(|| {
         storm.run(start + EVENTS).expect("fabric run");
     }) / EVENTS as f64
+}
+
+/// Sharded twin of [`netsim_storm_1k_ns`]: the lock-step fabric storm on
+/// the conservative-window driver (4 shards of contiguous pair blocks).
+fn netsim_storm_1k_sharded_ns() -> f64 {
+    const EVENTS: u64 = 25_000;
+    set_jobs(0);
+    let cfg = NetStormConfig::with_ranks(1_000);
+    let warm_events = 2 * cfg.pairs as u64;
+    let mut probe = NetStorm::new(&cfg, QueuePolicy::Auto, 0xD0E).expect("probe world");
+    probe.run(warm_events).expect("probe warm-up");
+    let h_warm = probe.report().final_time;
+    probe.run(warm_events + EVENTS).expect("probe run");
+    let h_end = probe.report().final_time;
+
+    let mut storm = ShardedNetStorm::new(&cfg, ShardPolicy::Sharded(4), QueuePolicy::Auto, 0xD0E)
+        .expect("sharded fabric storm");
+    let warm = storm.run_until(h_warm).expect("warm-up");
+    let ns = time_ns(|| {
+        storm.run_until(h_end).expect("fabric run");
+    });
+    (ns / (storm.report().events - warm).max(1) as f64).max(f64::MIN_POSITIVE)
 }
 
 fn mpisim_pingpong_ns() -> f64 {
@@ -280,7 +328,7 @@ fn main() {
 
     // (key, measure, unit) — every metric is gated on value/calib.
     type Metric = (&'static str, fn() -> f64, &'static str);
-    let suite: [Metric; 13] = [
+    let suite: [Metric; 15] = [
         ("quick_campaign_ms", quick_campaign_ms, "ms"),
         ("event_queue_cycle_ns", event_queue_cycle_ns, "ns"),
         ("queue_storm_10k_heap_ns", queue_storm_10k_heap_ns, "ns"),
@@ -290,7 +338,17 @@ fn main() {
         ("mpisim_storm_1k_ns", mpisim_storm_1k_ns, "ns"),
         ("mpisim_storm_10k_ns", mpisim_storm_10k_ns, "ns"),
         ("mpisim_storm_10k_heap_ns", mpisim_storm_10k_heap_ns, "ns"),
+        (
+            "mpisim_storm_10k_sharded_ns",
+            mpisim_storm_10k_sharded_ns,
+            "ns",
+        ),
         ("netsim_storm_1k_ns", netsim_storm_1k_ns, "ns"),
+        (
+            "netsim_storm_1k_sharded_ns",
+            netsim_storm_1k_sharded_ns,
+            "ns",
+        ),
         ("gpurt_memcpy_iter_ns", gpurt_memcpy_iter_ns, "ns"),
         ("vc_join_assign_ns", vc_join_assign_ns, "ns"),
         (
@@ -304,7 +362,7 @@ fn main() {
     // A background-noise burst then costs one round of one metric, not a
     // whole back-to-back sample of it.
     let mut calib = f64::INFINITY;
-    let mut mins = [f64::INFINITY; 13];
+    let mut mins = [f64::INFINITY; 15];
     for _ in 0..REPS {
         calib = calib.min(calibration_ns_per_op());
         for (i, (_, measure, _)) in suite.iter().enumerate() {
@@ -343,6 +401,27 @@ fn main() {
         value_of("mpisim_storm_10k_ns"),
     ) {
         json.push_str(&format!("  \"mpisim_storm_10k_speedup\": {:.2},\n", h / c));
+    }
+    // Sharded-vs-serial ratios (informational, not gated): expect ~1× on a
+    // 1-core CI host — the sharded driver is bit-identical, not free — and
+    // > 1× wherever `available_parallelism()` gives the lanes real cores.
+    if let (Some(s), Some(p)) = (
+        value_of("mpisim_storm_10k_ns"),
+        value_of("mpisim_storm_10k_sharded_ns"),
+    ) {
+        json.push_str(&format!(
+            "  \"mpisim_storm_10k_sharded_speedup_vs_serial\": {:.2},\n",
+            s / p
+        ));
+    }
+    if let (Some(s), Some(p)) = (
+        value_of("netsim_storm_1k_ns"),
+        value_of("netsim_storm_1k_sharded_ns"),
+    ) {
+        json.push_str(&format!(
+            "  \"netsim_storm_1k_sharded_speedup_vs_serial\": {:.2},\n",
+            s / p
+        ));
     }
     json.push_str(&format!("  \"gate_threshold\": {THRESHOLD}\n}}\n"));
     print!("{json}");

@@ -36,6 +36,12 @@ fn health_stats_and_index() {
     let stats = client::request(&addr, "GET", "/stats", &[]).unwrap();
     assert_eq!(stats.status, 200);
     assert!(stats.text().contains("\"executed\""));
+    // Sharded-DES window counters ride along (diagnostics only; query
+    // bodies stay shard-free).
+    assert!(stats.text().contains("\"shards\""));
+    assert!(stats.text().contains("\"windows\""));
+    assert!(stats.text().contains("\"cross_events\""));
+    assert!(stats.text().contains("\"merge_batches\""));
 
     let missing = client::request(&addr, "GET", "/nope", &[]).unwrap();
     assert_eq!(missing.status, 404);

@@ -47,7 +47,7 @@ pub mod variants;
 pub mod world;
 
 pub use config::{DevicePath, MpiConfig};
-pub use storm::{run_storm, Storm, StormConfig, StormReport};
+pub use storm::{run_storm, run_storm_sharded, ShardedStorm, Storm, StormConfig, StormReport};
 pub use transport::PathCosts;
 pub use variants::{apply_variant, MpiVariant};
 pub use world::{MpiError, MpiSim, Rank};

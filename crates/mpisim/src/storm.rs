@@ -16,8 +16,9 @@
 
 use std::sync::Arc;
 
-use doe_simtime::{EventQueue, QueuePolicy, Scheduled, SimTime};
-use doe_topo::{CoreId, NodeBuilder, NodeTopology, NumaId, SocketId};
+use doe_simtime::shard::{LaneCtx, ShardPolicy, ShardRunner, ShardStats};
+use doe_simtime::{EventQueue, QueuePolicy, Scheduled, SimDuration, SimTime};
+use doe_topo::{CoreId, NodeBuilder, NodeTopology, NumaId, SocketId, Vertex};
 
 use crate::config::MpiConfig;
 use crate::world::{MpiError, MpiSim, Rank};
@@ -69,6 +70,11 @@ pub struct StormReport {
     pub max_queue_depth: usize,
     /// Whether the calendar core was active when the run finished.
     pub used_calendar: bool,
+    /// Shard/window counters: all-zero for the unsharded serial driver,
+    /// populated by [`ShardedStorm`]. Never part of the A/B fingerprint —
+    /// window counts legitimately differ across shard counts while the
+    /// clocks above stay bit-identical.
+    pub shards: ShardStats,
 }
 
 /// The flat multi-domain topology a storm runs on: `numa_domains` sockets
@@ -194,6 +200,21 @@ impl Storm {
         Ok(self.events_done)
     }
 
+    /// Run every round trip that fires strictly before `horizon`; later
+    /// events stay queued. Unlike the event-count stop of [`Storm::run`],
+    /// a virtual-time horizon selects a shard-count-invariant event set,
+    /// so this is the serial oracle the sharded driver is diffed against.
+    // doebench::hot
+    pub fn run_until(&mut self, horizon: SimTime) -> Result<u64, MpiError> {
+        while let Some(t) = self.queue.peek_time() {
+            if t >= horizon {
+                break;
+            }
+            self.step()?;
+        }
+        Ok(self.events_done)
+    }
+
     /// The world under the storm (e.g. for sanitizer findings).
     pub fn world(&self) -> &MpiSim {
         &self.world
@@ -220,6 +241,7 @@ impl Storm {
             clock_digest: digest,
             max_queue_depth: self.max_depth,
             used_calendar: self.queue.is_calendar(),
+            shards: ShardStats::default(),
         }
     }
 }
@@ -233,6 +255,218 @@ pub fn run_storm(
 ) -> Result<StormReport, MpiError> {
     let mut storm = Storm::new(cfg, policy, seed)?;
     storm.run(events)?;
+    Ok(storm.report())
+}
+
+/// The conservative lookahead for a domain partition: the minimum
+/// latency of any topology link joining NUMA domains in *different*
+/// shards (the storm topology's inter-domain UPI hops). With one shard
+/// no link crosses, so the bound falls back to the minimum inter-domain
+/// link overall, then to 1 µs on a single-domain topology. Any positive
+/// value is sound — `LaneCtx::send_to` enforces the contract per event —
+/// the derivation only sets the window width.
+fn cross_shard_lookahead(topo: &NodeTopology, shard_of_domain: &[usize]) -> SimDuration {
+    let domain_of = |v: Vertex| match v {
+        Vertex::Numa(n) => Some(n.0 as usize),
+        _ => None,
+    };
+    let mut cross: Option<SimDuration> = None;
+    let mut any: Option<SimDuration> = None;
+    for l in &topo.links {
+        let (Some(da), Some(db)) = (domain_of(l.a), domain_of(l.b)) else {
+            continue;
+        };
+        if da == db {
+            continue;
+        }
+        any = Some(any.map_or(l.latency, |m: SimDuration| m.min(l.latency)));
+        if shard_of_domain.get(da) != shard_of_domain.get(db) {
+            cross = Some(cross.map_or(l.latency, |m: SimDuration| m.min(l.latency)));
+        }
+    }
+    cross.or(any).unwrap_or(SimDuration::from_ns(1_000.0))
+}
+
+/// The storm on the sharded conservative-window engine: one shard per
+/// contiguous block of NUMA domains, one `MpiSim` world per shard.
+///
+/// The partition is exact, not approximate: a storm pair only ever
+/// messages its partner (same domain) and only ever contends on its
+/// domain's copy port, and shards are unions of whole domains — so no
+/// event, message, or port access crosses a shard boundary, and the
+/// serial `(time, seq)` order restricted to a shard *is* that shard's
+/// local order. That makes [`ShardedStorm::run_until`] bit-identical to
+/// [`Storm::run_until`] at any shard count, which
+/// `tests/integration_shards.rs` and the in-module tests pin.
+#[derive(Debug)]
+pub struct ShardedStorm {
+    runner: ShardRunner<MpiSim, u32>,
+    /// Global pair index → owning shard.
+    shard_of_pair: Vec<u32>,
+    /// Global pair index → pair index within its shard's world.
+    local_pair: Vec<u32>,
+    pairs: usize,
+    bytes: u64,
+}
+
+impl ShardedStorm {
+    /// Build one world per shard over the same storm topology, place
+    /// each shard's ranks on the same cores the serial world would use,
+    /// and seed pairs in global order (so per-shard seqs are the serial
+    /// seqs restricted to the shard).
+    pub fn new(
+        cfg: &StormConfig,
+        shards: ShardPolicy,
+        policy: QueuePolicy,
+        seed: u64,
+    ) -> Result<Self, MpiError> {
+        let domains = cfg.numa_domains.max(1);
+        let n = shards.resolve(domains);
+        let topo = storm_topology(cfg.pairs, domains);
+        let cores_per_numa = 2 * cfg.pairs.div_ceil(domains);
+        // Contiguous domain blocks: shards never split a domain, so the
+        // per-domain copy ports stay shard-private.
+        let shard_of_domain: Vec<usize> = (0..domains).map(|d| d * n / domains).collect();
+        let lookahead = cross_shard_lookahead(&topo, &shard_of_domain);
+
+        let mut worlds = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut w = MpiSim::try_new(topo.clone(), MpiConfig::default_host(), seed)?;
+            if cfg.checks {
+                w.enable_checks();
+            }
+            worlds.push(w);
+        }
+
+        let mut shard_of_pair = Vec::with_capacity(cfg.pairs);
+        let mut local_pair = Vec::with_capacity(cfg.pairs);
+        let mut counts = vec![0u32; n];
+        for i in 0..cfg.pairs {
+            let s = shard_of_domain[i % domains];
+            shard_of_pair.push(s as u32);
+            local_pair.push(counts[s]);
+            counts[s] += 1;
+        }
+        let cap = counts.iter().copied().max().unwrap_or(1) as usize;
+
+        // Rank placement in global pair order, on the identical cores the
+        // serial storm uses — per-rank clocks depend only on (core, NUMA
+        // domain, world seed), all shard-invariant.
+        for i in 0..cfg.pairs {
+            let d = i % domains;
+            let slot = i / domains;
+            let base = (d * cores_per_numa + 2 * slot) as u32;
+            let w = &mut worlds[shard_of_pair[i] as usize];
+            w.add_host_rank(CoreId(base))?;
+            w.add_host_rank(CoreId(base + 1))?;
+        }
+
+        let mut runner = ShardRunner::new(worlds, lookahead, policy, cap.max(1));
+        for i in 0..cfg.pairs {
+            let s = shard_of_pair[i] as usize;
+            let lp = local_pair[i] as usize;
+            let a = Rank(2 * lp);
+            let b = Rank(2 * lp + 1);
+            let stagger = doe_simtime::SimDuration::from_ps(cfg.skew_ps * i as u64);
+            let w = runner.world_mut(s);
+            w.advance(a, stagger)?;
+            w.advance(b, stagger)?;
+            let t = w.time(a)?;
+            runner.seed(s, t, i as u32);
+        }
+        Ok(ShardedStorm {
+            runner,
+            shard_of_pair,
+            local_pair,
+            pairs: cfg.pairs,
+            bytes: cfg.bytes,
+        })
+    }
+
+    /// Run every round trip firing strictly before `horizon`, windows in
+    /// lock-step across shards, lanes fanned over `benchlib`'s scoped
+    /// thread pool (worker count from `--jobs` / `DOEBENCH_JOBS`; shard
+    /// count and worker count are independent). Returns total round
+    /// trips processed so far.
+    pub fn run_until(&mut self, horizon: SimTime) -> Result<u64, MpiError> {
+        let bytes = self.bytes;
+        let local_pair = &self.local_pair;
+        let handler = move |world: &mut MpiSim,
+                            _t: SimTime,
+                            batch: &[Scheduled<u32>],
+                            ctx: &mut LaneCtx<'_, u32>|
+              -> Result<(), MpiError> {
+            for ev in batch {
+                let pair = ev.payload as usize;
+                let lp = local_pair[pair] as usize;
+                let a = Rank(2 * lp);
+                let b = Rank(2 * lp + 1);
+                world.send(a, b, bytes)?;
+                world.recv(b, a, bytes)?;
+                world.send(b, a, bytes)?;
+                world.recv(a, b, bytes)?;
+                ctx.schedule(world.time(a)?, ev.payload);
+            }
+            Ok(())
+        };
+        self.runner.run_until(horizon, &handler, &|lanes, f| {
+            doe_benchlib::parallel_for_each_mut(lanes, |_, lane| f(lane));
+        })
+    }
+
+    /// Number of shards the storm runs on.
+    pub fn shards(&self) -> usize {
+        self.runner.shards()
+    }
+
+    /// Sanitizer findings across every shard's world, in shard order.
+    pub fn check_findings(&self) -> Vec<String> {
+        self.runner
+            .worlds()
+            .flat_map(|w| w.check_findings())
+            .collect()
+    }
+
+    /// Summarize the run so far. The digest walks ranks in *global* rank
+    /// order (pair 0's a, pair 0's b, pair 1's a, …) whatever the shard
+    /// count, so it is directly comparable with [`Storm::report`].
+    pub fn report(&self) -> StormReport {
+        let mut final_time = SimTime::ZERO;
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        for r in 0..2 * self.pairs {
+            let pair = r / 2;
+            let s = self.shard_of_pair[pair] as usize;
+            let local = Rank(2 * self.local_pair[pair] as usize + (r & 1));
+            let t = match self.runner.world(s).time(local) {
+                Ok(t) => t,
+                Err(_) => SimTime::ZERO,
+            };
+            final_time = final_time.max(t);
+            digest ^= t.as_ps();
+            digest = digest.wrapping_mul(0x1000_0000_01b3);
+        }
+        StormReport {
+            events: self.runner.events(),
+            final_time,
+            clock_digest: digest,
+            // One in-flight event per pair, spread over the shard queues.
+            max_queue_depth: self.pairs,
+            used_calendar: self.runner.used_calendar(),
+            shards: self.runner.stats(),
+        }
+    }
+}
+
+/// Build a sharded storm, run it to `horizon`, and report.
+pub fn run_storm_sharded(
+    cfg: &StormConfig,
+    shards: ShardPolicy,
+    policy: QueuePolicy,
+    seed: u64,
+    horizon: SimTime,
+) -> Result<StormReport, MpiError> {
+    let mut storm = ShardedStorm::new(cfg, shards, policy, seed)?;
+    storm.run_until(horizon)?;
     Ok(storm.report())
 }
 
@@ -293,5 +527,94 @@ mod tests {
         let c = run_storm(&cfg, QueuePolicy::Auto, 6, 1_000).expect("c");
         assert_eq!(a, b);
         assert_ne!(a.clock_digest, c.clock_digest);
+    }
+
+    /// Run the serial storm for `events` round trips and return a horizon
+    /// just past its frontier, so `run_until` selects a comparable,
+    /// shard-count-invariant slice of the schedule.
+    fn probe_horizon(cfg: &StormConfig, seed: u64, events: u64) -> SimTime {
+        let mut storm = Storm::new(cfg, QueuePolicy::Heap, seed).expect("probe storm");
+        storm.run(events).expect("probe run");
+        storm.report().final_time
+    }
+
+    #[test]
+    fn sharded_storm_is_bit_identical_to_serial_at_any_shard_count() {
+        let cfg = small();
+        let horizon = probe_horizon(&cfg, 9, 3_000);
+        let mut serial = Storm::new(&cfg, QueuePolicy::Heap, 9).expect("serial");
+        serial.run_until(horizon).expect("serial run");
+        let oracle = serial.report();
+        assert!(oracle.events > 0, "horizon must select real work");
+
+        for shards in [1usize, 2, 4] {
+            let r = run_storm_sharded(
+                &cfg,
+                ShardPolicy::Sharded(shards),
+                QueuePolicy::Heap,
+                9,
+                horizon,
+            )
+            .expect("sharded storm");
+            assert_eq!(r.events, oracle.events, "shards={shards}");
+            assert_eq!(r.final_time, oracle.final_time, "shards={shards}");
+            assert_eq!(r.clock_digest, oracle.clock_digest, "shards={shards}");
+            assert_eq!(r.shards.shards, shards);
+            assert!(r.shards.windows > 0, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn shard_count_clamps_to_domains_and_pairs_stay_shard_private() {
+        let cfg = small();
+        let horizon = probe_horizon(&cfg, 9, 1_000);
+        let storm =
+            ShardedStorm::new(&cfg, ShardPolicy::Sharded(64), QueuePolicy::Auto, 9).expect("storm");
+        assert_eq!(storm.shards(), cfg.numa_domains);
+        let mut storm = storm;
+        storm.run_until(horizon).expect("run");
+        let r = storm.report();
+        // The storm partition has no cross-shard traffic by construction:
+        // both ends of every pair share a NUMA domain and shards are unions
+        // of whole domains.
+        assert_eq!(r.shards.cross_events, 0);
+        assert!(r.shards.merge_batches > 0);
+    }
+
+    #[test]
+    fn checked_sharded_storm_is_clean_and_matches_unchecked() {
+        let mut cfg = small();
+        let horizon = probe_horizon(&cfg, 9, 1_500);
+        let plain = run_storm_sharded(&cfg, ShardPolicy::Sharded(2), QueuePolicy::Auto, 9, horizon)
+            .expect("plain");
+        cfg.checks = true;
+        let mut storm =
+            ShardedStorm::new(&cfg, ShardPolicy::Sharded(2), QueuePolicy::Auto, 9).expect("storm");
+        storm.run_until(horizon).expect("run");
+        assert!(
+            storm.check_findings().is_empty(),
+            "sharded storm must be sanitizer-clean: {:?}",
+            storm.check_findings()
+        );
+        assert_eq!(plain.clock_digest, storm.report().clock_digest);
+    }
+
+    #[test]
+    fn sharded_queue_policies_are_bit_identical() {
+        let cfg = small();
+        let horizon = probe_horizon(&cfg, 9, 2_000);
+        let heap = run_storm_sharded(&cfg, ShardPolicy::Sharded(4), QueuePolicy::Heap, 9, horizon)
+            .expect("heap");
+        let cal = run_storm_sharded(
+            &cfg,
+            ShardPolicy::Sharded(4),
+            QueuePolicy::Calendar,
+            9,
+            horizon,
+        )
+        .expect("calendar");
+        assert!(cal.used_calendar && !heap.used_calendar);
+        assert_eq!(heap.clock_digest, cal.clock_digest);
+        assert_eq!(heap.events, cal.events);
     }
 }

@@ -14,6 +14,7 @@
 //! two round-trip periods (intra- and inter-group) interleave and the tie
 //! structure stays non-trivial as virtual time advances.
 
+use doe_simtime::shard::{LaneCtx, ShardPolicy, ShardRunner, ShardStats};
 use doe_simtime::{EventQueue, QueuePolicy, Scheduled, SimDuration, SimTime};
 
 use crate::fabric::{Fabric, FabricConfig, NodeId};
@@ -60,10 +61,16 @@ pub struct NetStormReport {
     pub final_time: SimTime,
     /// FNV-1a digest over every rank clock (A/B fingerprint).
     pub clock_digest: u64,
-    /// Largest same-timestamp batch the queue handed out.
+    /// Largest same-timestamp batch the queue handed out. Under the
+    /// sharded driver this is the largest *per-shard* batch: a serial tie
+    /// group split over shards surfaces as smaller per-lane batches, so it
+    /// is the one field that may legitimately shrink with shard count.
     pub max_batch: usize,
     /// Whether the calendar core was active when the run finished.
     pub used_calendar: bool,
+    /// Shard/window counters: all-zero for the serial driver, populated by
+    /// [`ShardedNetStorm`]. Never part of the A/B fingerprint.
+    pub shards: ShardStats,
 }
 
 /// A running fabric storm.
@@ -149,6 +156,20 @@ impl NetStorm {
         Ok(self.events_done)
     }
 
+    /// Run every round trip that fires strictly before `horizon`. The
+    /// virtual-time stop selects a shard-count-invariant event set, so this
+    /// is the serial oracle [`ShardedNetStorm`] is diffed against.
+    // doebench::hot
+    pub fn run_until(&mut self, horizon: SimTime) -> Result<u64, NetError> {
+        while let Some(t) = self.queue.peek_time() {
+            if t >= horizon {
+                break;
+            }
+            self.step()?;
+        }
+        Ok(self.events_done)
+    }
+
     /// The world under the storm.
     pub fn world(&self) -> &NetWorld {
         &self.world
@@ -173,6 +194,7 @@ impl NetStorm {
             clock_digest: digest,
             max_batch: self.max_batch,
             used_calendar: self.queue.is_calendar(),
+            shards: ShardStats::default(),
         }
     }
 }
@@ -186,6 +208,228 @@ pub fn run_net_storm(
 ) -> Result<NetStormReport, NetError> {
     let mut storm = NetStorm::new(cfg, policy, seed)?;
     storm.run(events)?;
+    Ok(storm.report())
+}
+
+/// One shard lane of the fabric storm: its world plus the per-lane
+/// batch-size high-water mark the serial driver also tracks.
+#[derive(Debug)]
+pub struct NetShard {
+    world: NetWorld,
+    max_batch: usize,
+}
+
+/// The conservative lookahead for a pair partition: the cheapest fabric
+/// path that could join two pairs in *different* shards. Pair blocks are
+/// contiguous, so a shard boundary between pairs `i-1` and `i` splits a
+/// switch group exactly when nodes `2(i-1)+1` and `2i` share one — the
+/// intra-group path then bounds the cross-shard latency; otherwise only
+/// the inter-group path can cross. Any positive value is sound (the storm
+/// has no cross-shard messages and `LaneCtx::send_to` enforces the
+/// contract per event); the derivation only sets the window width.
+fn cross_shard_lookahead(
+    cfg: &FabricConfig,
+    shard_of_pair: &[u32],
+    nodes_per_group: u32,
+) -> SimDuration {
+    let intra = cfg.edge_latency * 2 + cfg.switch_latency;
+    let inter = cfg.edge_latency * 2 + cfg.switch_latency * 2 + cfg.global_latency;
+    let mut boundary_splits_group = false;
+    for i in 1..shard_of_pair.len() {
+        if shard_of_pair[i] == shard_of_pair[i - 1] {
+            continue;
+        }
+        let last = (2 * (i - 1) + 1) as u32 / nodes_per_group;
+        let first = (2 * i) as u32 / nodes_per_group;
+        if last == first {
+            boundary_splits_group = true;
+            break;
+        }
+    }
+    if boundary_splits_group {
+        intra
+    } else {
+        inter.max(intra)
+    }
+}
+
+/// The fabric storm on the sharded conservative-window engine: one shard
+/// per contiguous block of pairs, one [`NetWorld`] per shard over the same
+/// full fabric.
+///
+/// The partition is exact: a pair only messages its partner and the fabric
+/// holds no mutable inter-pair state during a storm (path lookup is pure;
+/// no background flows are added), so nothing crosses a shard boundary and
+/// the serial `(time, seq)` order restricted to a shard is that shard's
+/// local order — [`ShardedNetStorm::run_until`] is bit-identical to
+/// [`NetStorm::run_until`] at any shard count.
+#[derive(Debug)]
+pub struct ShardedNetStorm {
+    runner: ShardRunner<NetShard, u32>,
+    /// Global pair index → owning shard.
+    shard_of_pair: Vec<u32>,
+    /// Global pair index → pair index within its shard's world.
+    local_pair: Vec<u32>,
+    pairs: usize,
+    bytes: u64,
+}
+
+impl ShardedNetStorm {
+    /// Build one world per shard on identically-configured fabrics, place
+    /// each shard's ranks on the same global `NodeId`s the serial world
+    /// uses, and seed pairs in global order (per-shard seqs are the serial
+    /// seqs restricted to the shard).
+    pub fn new(
+        cfg: &NetStormConfig,
+        shards: ShardPolicy,
+        policy: QueuePolicy,
+        seed: u64,
+    ) -> Result<Self, NetError> {
+        let pairs = cfg.pairs.max(1);
+        let n = shards.resolve(pairs);
+        let npg = cfg.nodes_per_group.max(2);
+        let nodes = (2 * pairs) as u32;
+        let fabric_cfg = FabricConfig {
+            groups: nodes.div_ceil(npg).max(1),
+            nodes_per_group: npg,
+            ..FabricConfig::slingshot_like()
+        };
+        // Contiguous pair blocks; near-equal sizes.
+        let shard_of_pair: Vec<u32> = (0..pairs).map(|i| (i * n / pairs) as u32).collect();
+        let lookahead = cross_shard_lookahead(&fabric_cfg, &shard_of_pair, npg);
+
+        let mut worlds = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Same seed → same run_factor as the serial world: the jitter
+            // draw happens at construction, before any rank exists.
+            let mut w = NetWorld::new(
+                Fabric::new(fabric_cfg.clone()),
+                NicConfig::default_hpc(),
+                seed,
+            );
+            if cfg.checks {
+                w.enable_checks();
+            }
+            worlds.push(NetShard {
+                world: w,
+                max_batch: 0,
+            });
+        }
+
+        let mut local_pair = Vec::with_capacity(pairs);
+        let mut counts = vec![0u32; n];
+        for &s in &shard_of_pair {
+            local_pair.push(counts[s as usize]);
+            counts[s as usize] += 1;
+        }
+        let cap = counts.iter().copied().max().unwrap_or(1) as usize;
+
+        let mut runner = ShardRunner::new(worlds, lookahead, policy, cap.max(1));
+        for (i, &shard) in shard_of_pair.iter().enumerate() {
+            let s = shard as usize;
+            let lane = runner.world_mut(s);
+            let a = lane.world.add_rank(NodeId(2 * i as u32))?;
+            let b = lane.world.add_rank(NodeId(2 * i as u32 + 1))?;
+            let stagger = SimDuration::from_ps(cfg.skew_ps * i as u64);
+            lane.world.advance(a, stagger)?;
+            lane.world.advance(b, stagger)?;
+            let t = lane.world.time(a)?;
+            runner.seed(s, t, i as u32);
+        }
+        Ok(ShardedNetStorm {
+            runner,
+            shard_of_pair,
+            local_pair,
+            pairs,
+            bytes: cfg.bytes,
+        })
+    }
+
+    /// Run every round trip firing strictly before `horizon`, windows in
+    /// lock-step across shards, lanes fanned over `benchlib`'s scoped
+    /// thread pool. Returns total round trips processed so far.
+    pub fn run_until(&mut self, horizon: SimTime) -> Result<u64, NetError> {
+        let bytes = self.bytes;
+        let local_pair = &self.local_pair;
+        let handler = move |lane: &mut NetShard,
+                            _t: SimTime,
+                            batch: &[Scheduled<u32>],
+                            ctx: &mut LaneCtx<'_, u32>|
+              -> Result<(), NetError> {
+            if batch.len() > lane.max_batch {
+                lane.max_batch = batch.len();
+            }
+            for ev in batch {
+                let pair = ev.payload as usize;
+                let lp = local_pair[pair] as usize;
+                let a = NetRank(2 * lp);
+                let b = NetRank(2 * lp + 1);
+                lane.world.send(a, b, bytes)?;
+                lane.world.recv(b, a, bytes)?;
+                lane.world.send(b, a, bytes)?;
+                lane.world.recv(a, b, bytes)?;
+                ctx.schedule(lane.world.time(a)?, ev.payload);
+            }
+            Ok(())
+        };
+        self.runner.run_until(horizon, &handler, &|lanes, f| {
+            doe_benchlib::parallel_for_each_mut(lanes, |_, lane| f(lane));
+        })
+    }
+
+    /// Number of shards the storm runs on.
+    pub fn shards(&self) -> usize {
+        self.runner.shards()
+    }
+
+    /// Sanitizer findings across every shard's world, in shard order.
+    pub fn check_findings(&self) -> Vec<String> {
+        self.runner
+            .worlds()
+            .flat_map(|l| l.world.check_findings())
+            .collect()
+    }
+
+    /// Summarize the run so far. The digest walks ranks in *global* rank
+    /// order whatever the shard count, so it is directly comparable with
+    /// [`NetStorm::report`].
+    pub fn report(&self) -> NetStormReport {
+        let mut final_time = SimTime::ZERO;
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        for r in 0..2 * self.pairs {
+            let pair = r / 2;
+            let s = self.shard_of_pair[pair] as usize;
+            let local = NetRank(2 * self.local_pair[pair] as usize + (r & 1));
+            let t = match self.runner.world(s).world.time(local) {
+                Ok(t) => t,
+                Err(_) => SimTime::ZERO,
+            };
+            final_time = final_time.max(t);
+            digest ^= t.as_ps();
+            digest = digest.wrapping_mul(0x1000_0000_01b3);
+        }
+        let max_batch = self.runner.worlds().map(|l| l.max_batch).max().unwrap_or(0);
+        NetStormReport {
+            events: self.runner.events(),
+            final_time,
+            clock_digest: digest,
+            max_batch,
+            used_calendar: self.runner.used_calendar(),
+            shards: self.runner.stats(),
+        }
+    }
+}
+
+/// Build a sharded fabric storm, run it to `horizon`, and report.
+pub fn run_net_storm_sharded(
+    cfg: &NetStormConfig,
+    shards: ShardPolicy,
+    policy: QueuePolicy,
+    seed: u64,
+    horizon: SimTime,
+) -> Result<NetStormReport, NetError> {
+    let mut storm = ShardedNetStorm::new(cfg, shards, policy, seed)?;
+    storm.run_until(horizon)?;
     Ok(storm.report())
 }
 
@@ -242,5 +486,85 @@ mod tests {
             storm.world().check_findings()
         );
         assert_eq!(plain.clock_digest, storm.report().clock_digest);
+    }
+
+    /// Run the serial storm for `events` round trips and return its final
+    /// frontier as a shard-count-invariant horizon.
+    fn probe_horizon(cfg: &NetStormConfig, seed: u64, events: u64) -> SimTime {
+        let mut storm = NetStorm::new(cfg, QueuePolicy::Heap, seed).expect("probe storm");
+        storm.run(events).expect("probe run");
+        storm.report().final_time
+    }
+
+    #[test]
+    fn sharded_fabric_storm_is_bit_identical_to_serial_at_any_shard_count() {
+        let cfg = small();
+        let horizon = probe_horizon(&cfg, 3, 2_000);
+        let mut serial = NetStorm::new(&cfg, QueuePolicy::Heap, 3).expect("serial");
+        serial.run_until(horizon).expect("serial run");
+        let oracle = serial.report();
+        assert!(oracle.events > 0, "horizon must select real work");
+
+        for shards in [1usize, 2, 8] {
+            let r = run_net_storm_sharded(
+                &cfg,
+                ShardPolicy::Sharded(shards),
+                QueuePolicy::Heap,
+                3,
+                horizon,
+            )
+            .expect("sharded storm");
+            assert_eq!(r.events, oracle.events, "shards={shards}");
+            assert_eq!(r.final_time, oracle.final_time, "shards={shards}");
+            assert_eq!(r.clock_digest, oracle.clock_digest, "shards={shards}");
+            assert_eq!(r.shards.shards, shards);
+            assert!(r.shards.windows > 0, "shards={shards}");
+            // Pairs never message across shards, and the per-shard tie
+            // batches stay large on the lock-step fabric at small counts.
+            assert_eq!(r.shards.cross_events, 0, "shards={shards}");
+            if shards == 1 {
+                assert_eq!(r.max_batch, oracle.max_batch);
+            }
+        }
+    }
+
+    #[test]
+    fn checked_sharded_fabric_storm_is_clean_and_matches_unchecked() {
+        let mut cfg = small();
+        let horizon = probe_horizon(&cfg, 3, 1_000);
+        let plain =
+            run_net_storm_sharded(&cfg, ShardPolicy::Sharded(4), QueuePolicy::Auto, 3, horizon)
+                .expect("plain");
+        cfg.checks = true;
+        let mut storm = ShardedNetStorm::new(&cfg, ShardPolicy::Sharded(4), QueuePolicy::Auto, 3)
+            .expect("storm");
+        storm.run_until(horizon).expect("run");
+        assert!(
+            storm.check_findings().is_empty(),
+            "sharded fabric storm must be sanitizer-clean: {:?}",
+            storm.check_findings()
+        );
+        assert_eq!(plain.clock_digest, storm.report().clock_digest);
+    }
+
+    #[test]
+    fn sharded_queue_policies_are_bit_identical() {
+        let cfg = small();
+        let horizon = probe_horizon(&cfg, 3, 1_500);
+        let heap =
+            run_net_storm_sharded(&cfg, ShardPolicy::Sharded(4), QueuePolicy::Heap, 3, horizon)
+                .expect("heap");
+        let cal = run_net_storm_sharded(
+            &cfg,
+            ShardPolicy::Sharded(4),
+            QueuePolicy::Calendar,
+            3,
+            horizon,
+        )
+        .expect("calendar");
+        assert!(cal.used_calendar && !heap.used_calendar);
+        assert_eq!(heap.clock_digest, cal.clock_digest);
+        assert_eq!(heap.events, cal.events);
+        assert_eq!(heap.max_batch, cal.max_batch);
     }
 }

@@ -26,6 +26,7 @@ pub mod clock;
 pub mod event;
 pub mod noise;
 pub mod rng;
+pub mod shard;
 pub mod time;
 pub mod trace;
 
@@ -35,5 +36,9 @@ pub use event::{
 };
 pub use noise::Jitter;
 pub use rng::SimRng;
+pub use shard::{
+    default_shard_policy, serial_exec, set_default_shard_policy, Lane, LaneCtx, ShardPolicy,
+    ShardRunner, ShardStats,
+};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Span, Trace};
