@@ -47,6 +47,7 @@ use crate::{table4, table5, table6, table7};
 pub const CODE_VERSION: &str = concat!(env!("CARGO_PKG_VERSION"), "+q1");
 
 /// 64-bit FNV-1a over a byte stream — the suite's content hash.
+// doebench::effects(pure)
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
     for &b in bytes {
@@ -626,11 +627,13 @@ fn parse_params(v: &Json) -> Result<QueryParams, QueryError> {
 /// rendering, which derives through every model field (topology, memory
 /// model, GPU models, MPI config, jitter, software env). Any single
 /// field flip changes the digest — pinned by the seeded-mutation test.
+// doebench::effects(pure)
 pub fn machine_digest(m: &Machine) -> u64 {
     fnv1a64(format!("{m:?}").as_bytes())
 }
 
 /// Content digest of the campaign (suite configs + master seed).
+// doebench::effects(pure)
 pub fn campaign_digest(c: &Campaign) -> u64 {
     fnv1a64(format!("{c:?}").as_bytes())
 }
@@ -968,6 +971,7 @@ impl QueryPlan {
 
     /// Execute one cell. Pure: the value depends only on the cell's
     /// (machine spec, campaign) — exactly what its key hashes.
+    // doebench::effects(no-block)
     pub fn compute(&self, i: usize) -> RowValue {
         let cell = &self.cells[i];
         let c = &self.campaign;

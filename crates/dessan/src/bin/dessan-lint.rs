@@ -1,12 +1,18 @@
 //! Workspace determinism lint gate.
 //!
 //! ```text
-//! cargo run -p dessan --bin dessan-lint [--format json|text] [workspace-root]
+//! cargo run -p dessan --bin dessan-lint \
+//!     [--format json|text] [--timings] [--no-cache] [workspace-root]
 //! ```
 //!
 //! Scans `crates/*/src/**/*.rs`, applies the `dessan.toml` grandfather
 //! allowlist, prints violations, and exits nonzero if any remain. Unused
 //! allowlist entries are a hard failure so the list only shrinks.
+//!
+//! Per-file findings are memoized under `target/dessan-cache/` keyed by
+//! content hash, so warm runs re-lint only changed files; `--no-cache`
+//! bypasses the memo entirely. `--timings` prints a per-phase wall-time
+//! scoreboard to stderr (host clock — never simulated time).
 //!
 //! Exit codes: `0` clean, `1` findings or unused allowlist entries,
 //! `2` scan/internal errors (unreadable root, malformed `dessan.toml`,
@@ -19,6 +25,8 @@
 //!   "files": 107,
 //!   "violations": 1,
 //!   "grandfathered": 0,
+//!   "rules": ["wall-clock", "…", "effect-contract", "lock-order", "key-coverage"],
+//!   "cache": {"hits": 100, "misses": 7},
 //!   "findings": [
 //!     {"rule": "nondet-taint", "path": "crates/cli/src/main.rs",
 //!      "line": 358, "message": "…", "chain": ["…", "…"]}
@@ -54,12 +62,14 @@ fn json_list(items: impl Iterator<Item = String>) -> String {
 }
 
 fn usage_exit() -> ! {
-    eprintln!("usage: dessan-lint [--format json|text] [workspace-root]");
+    eprintln!("usage: dessan-lint [--format json|text] [--timings] [--no-cache] [workspace-root]");
     std::process::exit(2);
 }
 
 fn main() {
     let mut format_json = false;
+    let mut timings = false;
+    let mut opts = dessan::lint::RunOpts::default();
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -71,6 +81,8 @@ fn main() {
             },
             "--format=json" => format_json = true,
             "--format=text" => format_json = false,
+            "--timings" => timings = true,
+            "--no-cache" => opts.use_cache = false,
             a if a.starts_with('-') => usage_exit(),
             a if root.is_none() => root = Some(PathBuf::from(a)),
             _ => usage_exit(),
@@ -78,13 +90,25 @@ fn main() {
     }
     let root = root.unwrap_or_else(|| PathBuf::from("."));
 
-    let report = match dessan::lint::run(&root) {
+    let report = match dessan::lint::run_with(&root, opts) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("dessan-lint: cannot scan {}: {e}", root.display());
             std::process::exit(2);
         }
     };
+
+    if timings {
+        let total: std::time::Duration = report.timings.iter().map(|(_, d)| *d).sum();
+        eprintln!("dessan-lint phase timings (host clock):");
+        for (name, d) in &report.timings {
+            eprintln!("  {:>9.3} ms  {name}", d.as_secs_f64() * 1e3);
+        }
+        eprintln!(
+            "  {:>9.3} ms  total (analysis only)",
+            total.as_secs_f64() * 1e3
+        );
+    }
 
     if format_json {
         let findings = json_list(report.findings.iter().map(|f| {
@@ -104,11 +128,15 @@ fn main() {
                 json_str(path)
             )
         }));
+        let rules = json_list(dessan::lint::Rule::ALL.iter().map(|r| json_str(r.id())));
         println!(
-            "{{\"files\":{},\"violations\":{},\"grandfathered\":{},\"findings\":{},\"unused_allows\":{}}}",
+            "{{\"files\":{},\"violations\":{},\"grandfathered\":{},\"rules\":{},\"cache\":{{\"hits\":{},\"misses\":{}}},\"findings\":{},\"unused_allows\":{}}}",
             report.files,
             report.findings.len(),
             report.allowed,
+            rules,
+            report.cache_hits,
+            report.cache_misses,
             findings,
             unused,
         );

@@ -16,6 +16,12 @@
 //!   taint source: the taint analysis treats its return value as tainted
 //!   at every call site (for sources the token rules can't see, e.g. FFI
 //!   or platform wrappers).
+//! * `// doebench::effects(pure)` / `// doebench::effects(no-block)` —
+//!   declares an effect contract on the next `fn`, checked by the
+//!   interprocedural effect-summary engine (`effect-contract` rule):
+//!   `pure` forbids every observable effect except allocation,
+//!   `no-block` forbids OS-level blocking (condvar waits, thread joins,
+//!   channel receives, sleeps) anywhere in the fn's call closure.
 //! * `// dessan::allow(<rule>): <reason>` — waives `<rule>` on this line
 //!   and the next. As an inner doc comment (`//! dessan::allow(...)`) it
 //!   applies to the whole file. The reason is mandatory: a waiver without
@@ -45,6 +51,9 @@ pub struct FnItem {
     /// Armed by a `dessan::taint-source` marker: the taint analysis
     /// treats this fn's return value as nondeterministic.
     pub taint_source: bool,
+    /// Declared effect contract from a `doebench::effects(...)` marker
+    /// (`"pure"` or `"no-block"`), checked by [`crate::effects`].
+    pub effects: Option<String>,
     /// Inside a `#[cfg(test)]` region or itself `#[test]`/`#[cfg(test)]`.
     pub in_test: bool,
 }
@@ -106,6 +115,17 @@ fn comment_leads_with(comment: &str, marker: &str) -> bool {
     })
 }
 
+/// Parse a `doebench::effects(<contract>)` marker out of comment text.
+/// Only the known contracts (`pure`, `no-block`) arm anything, so prose
+/// about the marker grammar never declares a contract by accident.
+fn parse_effects(comment: &str) -> Option<String> {
+    let body = comment.trim_start_matches(['/', '*', '!']).trim_start();
+    let rest = body.strip_prefix("doebench::effects(")?;
+    let (contract, _) = rest.split_once(')')?;
+    let contract = contract.trim();
+    matches!(contract, "pure" | "no-block").then(|| contract.to_string())
+}
+
 /// Parse a `dessan::allow(<rule>): <reason>` waiver out of comment text.
 /// Returns the rule only when a non-empty reason follows the colon.
 fn parse_allow(comment: &str) -> Option<String> {
@@ -147,6 +167,7 @@ pub fn parse(src: &str, tokens: &[Token], extra_hot: &[String]) -> FileItems {
     // docs) never arms either.
     let mut marker_lines: Vec<usize> = Vec::new();
     let mut taint_marker_lines: Vec<usize> = Vec::new();
+    let mut effects_marker_lines: Vec<(usize, String)> = Vec::new();
     for t in tokens {
         if !t.kind.is_comment() {
             continue;
@@ -157,6 +178,9 @@ pub fn parse(src: &str, tokens: &[Token], extra_hot: &[String]) -> FileItems {
         }
         if comment_leads_with(text, "dessan::taint-source") {
             taint_marker_lines.push(t.line);
+        }
+        if let Some(contract) = parse_effects(text) {
+            effects_marker_lines.push((t.line, contract));
         }
         if comment_leads_with(text, "doebench::cold-call") {
             if let Some(flag) = items.cold_call_lines.get_mut(t.line - 1) {
@@ -306,6 +330,7 @@ pub fn parse(src: &str, tokens: &[Token], extra_hot: &[String]) -> FileItems {
                             hot: attr("doebench::hot") || extra_hot.iter().any(|h| h == &name),
                             cold: attr("#[cold]") || attr("[cold]"),
                             taint_source: false, // attributed after the pass
+                            effects: None,       // attributed after the pass
                             in_test,
                         });
                         pending = Some(Pending::Fn(items.fns.len() - 1));
@@ -344,6 +369,12 @@ pub fn parse(src: &str, tokens: &[Token], extra_hot: &[String]) -> FileItems {
     for m in taint_marker_lines {
         if let Some(f) = items.fns.iter_mut().find(|f| f.sig_line >= m) {
             f.taint_source = true;
+        }
+    }
+    effects_marker_lines.sort_unstable();
+    for (m, contract) in effects_marker_lines {
+        if let Some(f) = items.fns.iter_mut().find(|f| f.sig_line >= m) {
+            f.effects = Some(contract);
         }
     }
 
@@ -440,6 +471,177 @@ pub fn parse_source(src: &str, extra_hot: &[String]) -> (Vec<Token>, FileItems) 
     let tokens = lex(src);
     let items = parse(src, &tokens, extra_hot);
     (tokens, items)
+}
+
+/// One named field of a struct definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StructField {
+    /// Field name.
+    pub name: String,
+    /// Type text, tokens joined by spaces (`Mutex < HashMap < … > >`).
+    pub ty: String,
+    /// 1-based line of the field name.
+    pub line: usize,
+}
+
+/// One `struct` definition with named fields (tuple and unit structs are
+/// skipped — the key-coverage and lock-order analyses only reason about
+/// named fields).
+#[derive(Clone, Debug)]
+pub struct StructDef {
+    /// The struct's name.
+    pub name: String,
+    /// Concatenated text of its `#[derive(...)]` attributes (empty when
+    /// none) — the key-coverage analysis checks for `Debug` here.
+    pub derives: String,
+    /// 1-based line of the `struct` keyword.
+    pub line: usize,
+    /// Named fields in declaration order.
+    pub fields: Vec<StructField>,
+}
+
+/// Extract every named-field `struct` definition from a token stream.
+/// Purely structural (no type resolution): generics are skipped, field
+/// types are recorded as their token text.
+pub fn struct_defs(src: &str, tokens: &[Token]) -> Vec<StructDef> {
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| tokens[i].kind.is_code())
+        .collect();
+    let txt = |k: usize| tokens[code[k]].text(src);
+    let is_ident = |k: usize| matches!(tokens[code[k]].kind, TokKind::Ident | TokKind::RawIdent);
+    let mut out = Vec::new();
+    // Attribute text accumulated since the last item boundary.
+    let mut attrs = String::new();
+    let mut k = 0usize;
+    while k < code.len() {
+        if txt(k) == "#" && k + 1 < code.len() && txt(k + 1) == "[" {
+            // Slice the attribute's source text between the brackets.
+            let start = tokens[code[k]].start;
+            let mut depth = 0i32;
+            let mut j = k + 1;
+            let mut end = tokens[code[k]].end;
+            while j < code.len() {
+                match txt(j) {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = tokens[code[j]].end;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            attrs.push_str(&src[start..end]);
+            k = j + 1;
+            continue;
+        }
+        if is_ident(k) && txt(k) == "struct" && k + 1 < code.len() && is_ident(k + 1) {
+            let name = txt(k + 1)
+                .strip_prefix("r#")
+                .unwrap_or(txt(k + 1))
+                .to_string();
+            let line = tokens[code[k]].line;
+            let derives: String = if attrs.contains("derive") {
+                attrs.clone()
+            } else {
+                String::new()
+            };
+            // Scan past generics / where-clause to the body opener.
+            let mut j = k + 2;
+            let mut angle = 0i32;
+            let mut body = None;
+            while j < code.len() {
+                match txt(j) {
+                    "<" => angle += 1,
+                    ">" => angle = (angle - 1).max(0),
+                    "(" if angle == 0 => break, // tuple struct
+                    ";" if angle == 0 => break, // unit struct
+                    "{" if angle == 0 => {
+                        body = Some(j + 1);
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(mut p) = body {
+                let mut fields = Vec::new();
+                // Fields at depth 0 inside the body braces:
+                // `[pub [(...)]] name : <ty tokens> ,`
+                let mut depth = 0i32;
+                while p < code.len() {
+                    let t = txt(p);
+                    match t {
+                        "}" if depth == 0 => break,
+                        "{" | "(" | "[" => {
+                            depth += 1;
+                            p += 1;
+                            continue;
+                        }
+                        "}" | ")" | "]" => {
+                            depth -= 1;
+                            p += 1;
+                            continue;
+                        }
+                        _ => {}
+                    }
+                    if depth == 0 && is_ident(p) && p + 1 < code.len() && txt(p + 1) == ":" {
+                        let fname = txt(p).strip_prefix("r#").unwrap_or(txt(p)).to_string();
+                        let fline = tokens[code[p]].line;
+                        // Type tokens up to a `,` or `}` at depth 0
+                        // (angle depth tracked separately).
+                        let mut ty = Vec::new();
+                        let mut q = p + 2;
+                        let mut tangle = 0i32;
+                        let mut tdepth = 0i32;
+                        while q < code.len() {
+                            let u = txt(q);
+                            if tangle == 0 && tdepth == 0 && u == "," {
+                                break;
+                            }
+                            if tdepth == 0 && u == "}" {
+                                break;
+                            }
+                            match u {
+                                "<" => tangle += 1,
+                                ">" => tangle = (tangle - 1).max(0),
+                                "(" | "[" | "{" => tdepth += 1,
+                                ")" | "]" | "}" => tdepth -= 1,
+                                _ => {}
+                            }
+                            ty.push(u.to_string());
+                            q += 1;
+                        }
+                        fields.push(StructField {
+                            name: fname,
+                            ty: ty.join(" "),
+                            line: fline,
+                        });
+                        p = q;
+                        continue;
+                    }
+                    p += 1;
+                }
+                out.push(StructDef {
+                    name,
+                    derives,
+                    line,
+                    fields,
+                });
+            }
+            attrs.clear();
+            k = j;
+            continue;
+        }
+        if matches!(txt(k), ";" | "{" | "}") {
+            attrs.clear();
+        }
+        k += 1;
+    }
+    out
 }
 
 #[cfg(test)]
@@ -565,5 +767,53 @@ mod tests {
         let src = "// doebench::hot\nfn pump(xs: &[u32]) {\n    xs.iter().for_each(|x| {\n        touch(*x);\n    });\n}\n";
         let it = items_of(src);
         assert_eq!(it.hot_lines, vec![false, true, true, true, true, true]);
+    }
+
+    #[test]
+    fn effects_marker_arms_next_fn_only() {
+        let src = "// doebench::effects(pure)\nfn digest() -> u64 { 7 }\nfn other() {}\n// doebench::effects(no-block)\nfn drain() {}\n";
+        let it = items_of(src);
+        assert_eq!(it.fns[0].effects.as_deref(), Some("pure"));
+        assert_eq!(it.fns[1].effects, None);
+        assert_eq!(it.fns[2].effects.as_deref(), Some("no-block"));
+    }
+
+    #[test]
+    fn effects_marker_rejects_unknown_contracts_and_prose() {
+        // Unknown contract names never arm anything; neither does prose
+        // that merely mentions the grammar without the exact spelling.
+        let src = "// doebench::effects(fast)\nfn a() {}\n// the doebench::effects(pure) marker is documented in CONTRIBUTING\nfn b() {}\n";
+        let it = items_of(src);
+        assert_eq!(it.fns[0].effects, None);
+        assert_eq!(it.fns[1].effects, None);
+    }
+
+    #[test]
+    fn struct_defs_extract_fields_types_and_derives() {
+        let src = "#[derive(Clone, Debug)]\npub struct Flight<V> {\n    state: Mutex<FlightState<V>>,\n    pub done: Condvar,\n}\nstruct Unit;\nstruct Tup(u32, u32);\n";
+        let (tokens, _) = parse_source(src, &[]);
+        let defs = struct_defs(src, &tokens);
+        assert_eq!(defs.len(), 1, "tuple and unit structs are skipped");
+        let f = &defs[0];
+        assert_eq!(f.name, "Flight");
+        assert!(f.derives.contains("Debug"));
+        assert_eq!(f.line, 2);
+        assert_eq!(f.fields.len(), 2);
+        assert_eq!(f.fields[0].name, "state");
+        assert!(f.fields[0].ty.contains("Mutex"));
+        assert_eq!(f.fields[1].name, "done");
+        assert_eq!(f.fields[1].ty, "Condvar");
+        assert_eq!(f.fields[1].line, 4);
+    }
+
+    #[test]
+    fn struct_defs_skip_nested_braces_and_generic_commas() {
+        let src = "struct S {\n    map: HashMap<Arc<str>, Slot<V>>,\n    cb: Box<dyn Fn(u32, u32) -> u32>,\n    n: usize,\n}\n";
+        let (tokens, _) = parse_source(src, &[]);
+        let defs = struct_defs(src, &tokens);
+        let names: Vec<&str> = defs[0].fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["map", "cb", "n"]);
+        assert!(defs[0].fields[0].ty.contains("HashMap"));
+        assert!(defs[0].derives.is_empty());
     }
 }

@@ -22,7 +22,15 @@
 //!    the sim crates), and API-protocol typestate checking ([`protocol`]:
 //!    `send_nb`/wait pairing, `event_record` before `stream_wait_event`,
 //!    buffer annotation before instrumented copies, no queue use after
-//!    `drain_until` without reschedule).
+//!    `drain_until` without reschedule). A call-graph fixpoint layer adds
+//!    interprocedural effect summaries ([`effects`]: per-function effect
+//!    sets checked against declared `// doebench::effects(...)`
+//!    contracts), lock-order/condvar protocol checking ([`locks`]:
+//!    double-lock, global acquisition-order cycles, guard-across-wait,
+//!    wait-outside-loop), and cache-key field-coverage proofs
+//!    ([`keycov`]: every field of the key structs must flow into the
+//!    canonical key derivation). Per-file results are memoized across
+//!    runs by [`incr`] (`target/dessan-cache/`, `--no-cache` to bypass).
 //!
 //! 2. **Dynamic happens-before sanitizer** ([`checks`], [`vc`]): vector
 //!    clocks attached to ompsim threads, mpisim ranks, and gpurt
@@ -37,9 +45,13 @@ pub mod callgraph;
 pub mod cfg;
 pub mod checks;
 pub mod dataflow;
+pub mod effects;
+pub mod incr;
 pub mod items;
+pub mod keycov;
 pub mod lex;
 pub mod lint;
+pub mod locks;
 pub mod protocol;
 pub mod taint;
 pub mod unitsflow;

@@ -3,7 +3,7 @@
 //! Since dessan v2 this is a syntax-aware scan: files are tokenized by the
 //! hand-rolled lossless lexer ([`crate::lex`]), structured into fn/impl/
 //! test-region items with line spans ([`crate::items`]), and linked into a
-//! workspace call graph ([`crate::callgraph`]). Fourteen rule classes:
+//! workspace call graph ([`crate::callgraph`]). Seventeen rule classes:
 //!
 //! | id                        | hazard                                              |
 //! |---------------------------|-----------------------------------------------------|
@@ -21,11 +21,18 @@
 //! | `protocol-event-order`    | `stream_wait_event` on an event not yet recorded    |
 //! | `protocol-buffer-annotate` | `memcpy_async` while launches have unannotated buffers |
 //! | `protocol-queue-drain`    | `EventQueue` read after `drain_until` without reschedule |
+//! | `effect-contract`         | a fn's call closure violates its `doebench::effects(...)` contract ([`crate::effects`]) |
+//! | `lock-order`              | lock-order cycle, double-lock, or condvar protocol misuse ([`crate::locks`]) |
+//! | `key-coverage`            | a spec/query struct field missing from the canonical cache key ([`crate::keycov`]) |
 //!
-//! The last six run on the dataflow layer ([`crate::cfg`] +
-//! [`crate::dataflow`]) rather than on raw token sequences, so their
-//! findings are path-aware: a `send_nb` answered on every control-flow
-//! path is clean, and a taint finding carries its source→sink chain.
+//! `nondet-taint` through `protocol-queue-drain` run on the dataflow
+//! layer ([`crate::cfg`] + [`crate::dataflow`]) rather than on raw token
+//! sequences, so their findings are path-aware: a `send_nb` answered on
+//! every control-flow path is clean, and a taint finding carries its
+//! source→sink chain. `effect-contract` is an interprocedural fixpoint
+//! over the call graph, `lock-order` a must-hold dataflow over guard
+//! bindings, and `key-coverage` a structural proof over struct
+//! definitions and the canonical serialization functions.
 //!
 //! A function becomes hot by carrying a `doebench::hot` marker comment
 //! before (or on) its `fn` line, or by a `hot-fn path fn-name` line in
@@ -45,6 +52,8 @@
 use std::collections::BTreeSet;
 use std::fmt;
 use std::path::Path;
+// dessan::allow(wall-clock): host-clock import feeds only the --timings scoreboard.
+use std::time::{Duration, Instant};
 
 use crate::callgraph::{self, WsFile};
 use crate::items;
@@ -88,6 +97,15 @@ pub enum Rule {
     ProtocolBufferAnnotate,
     /// `EventQueue` read after `drain_until` with no reschedule between.
     ProtocolQueueDrain,
+    /// A function's transitive call closure exhibits an effect its
+    /// declared `doebench::effects(...)` contract forbids.
+    EffectContract,
+    /// Lock-acquisition-order cycle, double-lock on one field, guard held
+    /// across a foreign `Condvar::wait`, or `wait` outside a recheck loop.
+    LockOrder,
+    /// A named field of a key-bearing struct does not flow into the
+    /// canonical cache-key derivation.
+    KeyCoverage,
 }
 
 impl Rule {
@@ -108,11 +126,19 @@ impl Rule {
             Rule::ProtocolEventOrder => "protocol-event-order",
             Rule::ProtocolBufferAnnotate => "protocol-buffer-annotate",
             Rule::ProtocolQueueDrain => "protocol-queue-drain",
+            Rule::EffectContract => "effect-contract",
+            Rule::LockOrder => "lock-order",
+            Rule::KeyCoverage => "key-coverage",
         }
     }
 
+    /// The rule with the given stable id, if any.
+    pub fn from_id(id: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.id() == id)
+    }
+
     /// Every rule, in report order.
-    pub const ALL: [Rule; 14] = [
+    pub const ALL: [Rule; 17] = [
         Rule::WallClock,
         Rule::AdHocRng,
         Rule::HashOrder,
@@ -127,6 +153,9 @@ impl Rule {
         Rule::ProtocolEventOrder,
         Rule::ProtocolBufferAnnotate,
         Rule::ProtocolQueueDrain,
+        Rule::EffectContract,
+        Rule::LockOrder,
+        Rule::KeyCoverage,
     ];
 
     /// Position in [`Rule::ALL`], for stable report ordering.
@@ -372,7 +401,11 @@ pub fn lint_file_with_hot(path: &str, src: &str, extra_hot: &[String]) -> Vec<Li
     let mut findings = lint_parsed(path, src, &file.tokens, &file.items);
     findings.extend(crate::unitsflow::findings(&file));
     findings.extend(crate::protocol::findings(&file));
-    findings.extend(crate::taint::findings(std::slice::from_ref(&file)));
+    let slice = std::slice::from_ref(&file);
+    findings.extend(crate::taint::findings(slice));
+    findings.extend(crate::effects::findings(slice));
+    findings.extend(crate::locks::findings(slice));
+    findings.extend(crate::keycov::findings(slice));
     findings.sort_by_key(|f| (f.line, f.rule.order()));
     findings
 }
@@ -660,6 +693,12 @@ pub struct LintReport {
     pub files: usize,
     /// Allowlist entries that matched nothing.
     pub unused_allows: Vec<(String, String)>,
+    /// Per-phase wall time, in run order, for `--timings`.
+    pub timings: Vec<(String, Duration)>,
+    /// Files whose per-file findings came from the incremental cache.
+    pub cache_hits: usize,
+    /// Files whose per-file rules had to run (result stored for next time).
+    pub cache_misses: usize,
 }
 
 impl LintReport {
@@ -687,10 +726,37 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::R
     Ok(())
 }
 
-/// Lint every `crates/*/src/**/*.rs` under `root`: the per-file rules,
-/// then the workspace-level transitive hot-path-alloc walk, applying the
-/// allowlist at `root/dessan.toml` if present.
+/// Options for a full workspace lint run ([`run_with`]).
+#[derive(Clone, Copy, Debug)]
+pub struct RunOpts {
+    /// Reuse per-file findings cached under `target/dessan-cache`, keyed
+    /// by content hash (`--no-cache` clears this). Workspace-level
+    /// analyses always run — only the per-file rule work is memoized.
+    pub use_cache: bool,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts { use_cache: true }
+    }
+}
+
+/// Read the host clock for the `--timings` scoreboard.
+fn phase_clock() -> Instant {
+    // dessan::allow(wall-clock): measures the linter's own phases, never simulated code.
+    Instant::now()
+}
+
+/// Lint every `crates/*/src/**/*.rs` under `root` with default options:
+/// the per-file rules, then the workspace-level analyses (transitive
+/// hot-path-alloc, cross-file taint, effect contracts, lock order, key
+/// coverage), applying the allowlist at `root/dessan.toml` if present.
 pub fn run(root: &Path) -> std::io::Result<LintReport> {
+    run_with(root, RunOpts::default())
+}
+
+/// [`run`] with explicit [`RunOpts`].
+pub fn run_with(root: &Path, opts: RunOpts) -> std::io::Result<LintReport> {
     let allow_text = match std::fs::read_to_string(root.join("dessan.toml")) {
         Ok(t) => t,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
@@ -708,9 +774,17 @@ pub fn run(root: &Path) -> std::io::Result<LintReport> {
         .collect();
     crate_dirs.sort();
 
+    let mut cache = if opts.use_cache {
+        crate::incr::IncrCache::load(root)
+    } else {
+        crate::incr::IncrCache::disabled()
+    };
+
     let mut report = LintReport::default();
     let mut ws: Vec<WsFile> = Vec::new();
     let mut raw_findings = Vec::new();
+    let mut t_parse = Duration::ZERO;
+    let mut t_perfile = Duration::ZERO;
     for cd in crate_dirs {
         let src = cd.join("src");
         if !src.is_dir() {
@@ -727,15 +801,52 @@ pub fn run(root: &Path) -> std::io::Result<LintReport> {
             let text = std::fs::read_to_string(&f)?;
             report.files += 1;
             let hot = allow.hot_fns_for(&rel);
+            // Lex + parse always run: the workspace analyses below need
+            // live token streams even on a cache hit.
+            let t0 = phase_clock();
             let file = callgraph::ws_file(&rel, &text, &hot);
-            raw_findings.extend(lint_parsed(&rel, &text, &file.tokens, &file.items));
-            raw_findings.extend(crate::unitsflow::findings(&file));
-            raw_findings.extend(crate::protocol::findings(&file));
+            t_parse += t0.elapsed();
+            let t0 = phase_clock();
+            if let Some(cached) = cache.lookup(&rel, &text, &hot) {
+                report.cache_hits += 1;
+                raw_findings.extend(cached);
+            } else {
+                report.cache_misses += 1;
+                let mut per = lint_parsed(&rel, &text, &file.tokens, &file.items);
+                per.extend(crate::unitsflow::findings(&file));
+                per.extend(crate::protocol::findings(&file));
+                cache.store(&rel, &text, &hot, &per);
+                raw_findings.extend(per);
+            }
+            t_perfile += t0.elapsed();
             ws.push(file);
         }
     }
-    raw_findings.extend(callgraph::transitive_findings(&ws));
-    raw_findings.extend(crate::taint::findings(&ws));
+    report.timings.push(("lex+parse".to_string(), t_parse));
+    report.timings.push((
+        "per-file rules (token, units-flow, protocol)".to_string(),
+        t_perfile,
+    ));
+    let mut ws_phase =
+        |name: &str, pass: &dyn Fn(&[WsFile]) -> Vec<LintFinding>, sink: &mut Vec<LintFinding>| {
+            let t0 = phase_clock();
+            sink.extend(pass(&ws));
+            report.timings.push((name.to_string(), t0.elapsed()));
+        };
+    ws_phase(
+        "hot-path-alloc-transitive",
+        &callgraph::transitive_findings,
+        &mut raw_findings,
+    );
+    ws_phase("nondet-taint", &crate::taint::findings, &mut raw_findings);
+    ws_phase(
+        "effect-contract",
+        &crate::effects::findings,
+        &mut raw_findings,
+    );
+    ws_phase("lock-order", &crate::locks::findings, &mut raw_findings);
+    ws_phase("key-coverage", &crate::keycov::findings, &mut raw_findings);
+    cache.save(root); // best-effort: a read-only target/ is not an error
     raw_findings
         .sort_by(|a, b| (&a.path, a.line, a.rule.order()).cmp(&(&b.path, b.line, b.rule.order())));
     for finding in raw_findings {

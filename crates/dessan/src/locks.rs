@@ -1,0 +1,913 @@
+//! Lock-order and condvar protocol checking.
+//!
+//! Lock identity is structural: a `.lock(` receiver is resolved to the
+//! **owning struct field** of the mutex — `flight.state.lock()` and
+//! `self.flight.state.lock()` are both acquisitions of `Flight.state`,
+//! and `self.shard(key).lock()` resolves through the called method's
+//! body (`shard` returns `&self.shards[…]`, so the key is
+//! `CacheInner.shards`). Mutex-typed fields come from the workspace's
+//! struct definitions ([`crate::items::struct_defs`]); a field name
+//! declared Mutex-typed in more than one struct is ambiguous and
+//! produces no key (dessan's usual silence-over-noise stance).
+//! A SCREAMING_CASE receiver (`GLOBAL.lock()`) keys on its own name —
+//! a static mutex is its own owner. Lowercase local receivers
+//! (`s.lock()` inside a per-shard closure) carry no key and are skipped.
+//!
+//! On top of the keys, a forward **must**-analysis over the CFG
+//! ([`crate::cfg`] with [`LoopShape::ExactlyOnce`]) tracks which guard
+//! variables are held — only `let`-bound guards count (a temporary like
+//! `s.lock().unwrap().clear()` releases at the end of its statement) and
+//! `drop(guard)` releases. Four checks report under the `lock-order`
+//! rule:
+//!
+//! * **double-lock** — acquiring a key while a guard on the same key is
+//!   held on some path (self-deadlock on a non-reentrant mutex).
+//! * **order cycle** — every `acquire B while holding A` adds the edge
+//!   `A → B` to one global acquisition-order graph; an edge on a cycle
+//!   is reported at its own site, with the cycle spelled out.
+//! * **guard-across-wait** — `Condvar::wait(g)` releases only `g`'s
+//!   mutex; any *other* guard still held blocks the wakers.
+//! * **wait-not-in-loop** — a condvar wait must sit in a loop that
+//!   re-checks its predicate (spurious wakeups are allowed by the API).
+//!
+//! Known under-approximations (deliberate): held sets are
+//! intraprocedural — a callee's own acquisitions are balanced inside it
+//! and produce edges from its own body, but a lock held across a call
+//! into a locking callee adds no cross-function edge; unresolvable
+//! receivers are skipped, never guessed.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::{body_calls, Call, CallIndex, Node, Recv, WsFile};
+use crate::cfg::{self, LoopShape, Step};
+use crate::dataflow::{self, Dir, Lattice};
+use crate::items::struct_defs;
+use crate::lex::TokKind;
+use crate::lint::{LintFinding, Rule};
+
+/// Must-held fact: `None` = ⊤ (unvisited), otherwise the set of
+/// guard-variable → lock-key bindings held on *every* path here.
+#[derive(Clone, PartialEq, Debug)]
+struct Held(Option<BTreeMap<String, String>>);
+
+impl Lattice for Held {
+    fn join(&mut self, other: &Self) -> bool {
+        match (&mut self.0, &other.0) {
+            (_, None) => false,
+            (slot @ None, Some(o)) => {
+                *slot = Some(o.clone());
+                true
+            }
+            (Some(s), Some(o)) => {
+                let before = s.len();
+                s.retain(|k, v| o.get(k) == Some(v));
+                s.len() != before
+            }
+        }
+    }
+}
+
+/// One reportable event replayed out of a block.
+enum Event {
+    DoubleLock {
+        line: usize,
+        key: String,
+    },
+    OrderEdge {
+        line: usize,
+        from: String,
+        to: String,
+    },
+    GuardAcrossWait {
+        line: usize,
+        wait_key: String,
+        other_var: String,
+        other_key: String,
+    },
+}
+
+/// Everything needed to resolve a `.lock(` receiver to a lock key.
+struct Resolver<'a> {
+    files: &'a [WsFile],
+    index: CallIndex<'a>,
+    /// Mutex-typed field name → owning struct, workspace-unique only.
+    field_owner: BTreeMap<String, String>,
+    /// Memoized `method → mutex field` resolution per callee node.
+    method_keys: std::cell::RefCell<BTreeMap<Node, Option<String>>>,
+}
+
+impl<'a> Resolver<'a> {
+    fn build(files: &'a [WsFile]) -> Self {
+        let mut owners: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for file in files {
+            for def in struct_defs(&file.src, &file.tokens) {
+                for field in &def.fields {
+                    if field.ty.contains("Mutex") {
+                        owners
+                            .entry(field.name.clone())
+                            .or_default()
+                            .insert(def.name.clone());
+                    }
+                }
+            }
+        }
+        let field_owner = owners
+            .into_iter()
+            .filter(|(_, s)| s.len() == 1)
+            .map(|(f, s)| (f, s.into_iter().next().unwrap()))
+            .collect();
+        Resolver {
+            files,
+            index: CallIndex::build(files),
+            field_owner,
+            method_keys: Default::default(),
+        }
+    }
+
+    fn field_key(&self, field: &str) -> Option<String> {
+        self.field_owner
+            .get(field)
+            .map(|owner| format!("{owner}.{field}"))
+    }
+
+    /// The mutex field a method's body hands out (`&self.shards[…]`).
+    fn method_key(&self, node: Node) -> Option<String> {
+        if let Some(k) = self.method_keys.borrow().get(&node) {
+            return k.clone();
+        }
+        let file = &self.files[node.0];
+        let f = &file.items.fns[node.1];
+        let code: Vec<usize> = f
+            .body_tokens
+            .clone()
+            .filter(|&i| file.tokens[i].kind.is_code())
+            .collect();
+        let txt = |k: usize| file.tokens[code[k]].text(&file.src);
+        let mut key = None;
+        for k in 0..code.len().saturating_sub(2) {
+            if txt(k) == "self" && txt(k + 1) == "." {
+                if let Some(found) = self.field_key(txt(k + 2)) {
+                    key = Some(found);
+                    break;
+                }
+            }
+        }
+        self.method_keys.borrow_mut().insert(node, key.clone());
+        key
+    }
+
+    /// Resolve the receiver of a `.lock(` at step position `dot` (the
+    /// index of the `.` in `texts`) to a lock key.
+    fn recv_key(
+        &self,
+        texts: &[&str],
+        kinds: &[TokKind],
+        dot: usize,
+        caller: Node,
+    ) -> Option<String> {
+        if dot == 0 {
+            return None;
+        }
+        let mut i = dot - 1;
+        // `…[i].lock()` — indexing keeps the container's field identity.
+        if texts[i] == "]" {
+            let mut depth = 0i32;
+            loop {
+                match texts[i] {
+                    "]" => depth += 1,
+                    "[" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                if i == 0 {
+                    return None;
+                }
+                i -= 1;
+            }
+            if i == 0 {
+                return None;
+            }
+            i -= 1;
+        }
+        // `…method(args).lock()` — resolve through the method's body.
+        if texts[i] == ")" {
+            let mut depth = 0i32;
+            loop {
+                match texts[i] {
+                    ")" => depth += 1,
+                    "(" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                if i == 0 {
+                    return None;
+                }
+                i -= 1;
+            }
+            if i == 0 {
+                return None;
+            }
+            let m = i - 1;
+            if !matches!(kinds[m], TokKind::Ident | TokKind::RawIdent) {
+                return None;
+            }
+            let recv = if m >= 2 && texts[m - 1] == "." && texts[m - 2] == "self" {
+                Recv::SelfDot
+            } else if m >= 1 && texts[m - 1] == "." {
+                Recv::OtherDot
+            } else {
+                Recv::Bare
+            };
+            let call = Call {
+                name: texts[m].to_string(),
+                qual: None,
+                recv,
+                line: 0,
+            };
+            let targets = self.index.resolve(&call, caller, self.files);
+            let keys: BTreeSet<Option<String>> =
+                targets.iter().map(|&t| self.method_key(t)).collect();
+            return match keys.len() {
+                1 => keys.into_iter().next().unwrap(),
+                _ => None,
+            };
+        }
+        if !matches!(kinds[i], TokKind::Ident | TokKind::RawIdent) {
+            return None;
+        }
+        let name = texts[i];
+        if i >= 1 && texts[i - 1] == "." {
+            // `owner.field.lock()` / `self.field.lock()`.
+            return self.field_key(name);
+        }
+        // Bare receiver: a static mutex keys on its own name; a local
+        // variable (per-shard closure param, error slot) has no key.
+        let screaming = name.len() > 1
+            && name.chars().any(|c| c.is_ascii_alphabetic())
+            && name
+                .chars()
+                .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_');
+        screaming.then(|| name.to_string())
+    }
+}
+
+/// Replay one step's lock events over a held map.
+fn exec_step(
+    file: &WsFile,
+    resolver: &Resolver<'_>,
+    caller: Node,
+    step: &Step,
+    held: &mut BTreeMap<String, String>,
+    mut sink: Option<&mut Vec<Event>>,
+) {
+    // Bind steps scan pattern+source as one token run: a scrutinee can
+    // acquire (`match m.lock() { … }`) and an `if let Ok(g) = m.lock()`
+    // pattern binds a guard.
+    let idxs: Vec<usize> = match step {
+        Step::Code(ts) => ts.clone(),
+        Step::Bind { pattern, source } => {
+            let mut v = pattern.clone();
+            v.extend(source.iter().copied());
+            v
+        }
+    };
+    let texts: Vec<&str> = idxs
+        .iter()
+        .map(|&i| file.tokens[i].text(&file.src))
+        .collect();
+    let kinds: Vec<TokKind> = idxs.iter().map(|&i| file.tokens[i].kind).collect();
+    let line_of = |k: usize| file.tokens[idxs[k]].line;
+
+    // The variable this statement binds, if it is a `let`.
+    let bound: Option<String> = if texts.first().copied() == Some("let") {
+        let n = if texts.get(1).copied() == Some("mut") {
+            2
+        } else {
+            1
+        };
+        (matches!(kinds.get(n), Some(TokKind::Ident | TokKind::RawIdent))
+            && texts.get(n + 1).copied() == Some("="))
+        .then(|| texts[n].to_string())
+    } else {
+        None
+    };
+    // `if let PAT = …` / `while let PAT = …` bind steps: last pattern
+    // ident receives the guard (`Ok(g)`, plain `g`).
+    let bind_pat: Option<String> = match step {
+        Step::Bind { pattern, .. } => pattern
+            .iter()
+            .rev()
+            .find(|&&i| matches!(file.tokens[i].kind, TokKind::Ident | TokKind::RawIdent))
+            .map(|&i| file.tokens[i].text(&file.src).to_string()),
+        _ => None,
+    };
+
+    for k in 0..texts.len() {
+        // drop(g) releases.
+        if texts[k] == "drop"
+            && texts.get(k + 1).copied() == Some("(")
+            && texts.get(k + 3).copied() == Some(")")
+        {
+            if let Some(var) = texts.get(k + 2) {
+                held.remove(*var);
+            }
+        }
+        // Condvar waits: the argument must be a held guard to count.
+        if texts[k] == "."
+            && matches!(
+                texts.get(k + 1).copied(),
+                Some("wait" | "wait_timeout" | "wait_while")
+            )
+            && texts.get(k + 2).copied() == Some("(")
+        {
+            if let Some(arg) = texts.get(k + 3) {
+                if let Some(wait_key) = held.get(*arg).cloned() {
+                    if let Some(sink) = sink.as_deref_mut() {
+                        for (v, kk) in held.iter() {
+                            if v != arg {
+                                sink.push(Event::GuardAcrossWait {
+                                    line: line_of(k),
+                                    wait_key: wait_key.clone(),
+                                    other_var: v.clone(),
+                                    other_key: kk.clone(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Acquisitions.
+        if texts[k] == "."
+            && texts.get(k + 1).copied() == Some("lock")
+            && texts.get(k + 2).copied() == Some("(")
+        {
+            let key = resolver.recv_key(&texts, &kinds, k, caller);
+            if let Some(key) = key {
+                if let Some(sink) = sink.as_deref_mut() {
+                    if held.values().any(|h| *h == key) {
+                        sink.push(Event::DoubleLock {
+                            line: line_of(k),
+                            key: key.clone(),
+                        });
+                    }
+                    for h in held.values() {
+                        if *h != key {
+                            sink.push(Event::OrderEdge {
+                                line: line_of(k),
+                                from: h.clone(),
+                                to: key.clone(),
+                            });
+                        }
+                    }
+                }
+                if let Some(var) = bound.clone().or_else(|| bind_pat.clone()) {
+                    held.insert(var, key);
+                }
+            }
+        }
+    }
+}
+
+/// The token-level wait-in-loop check: every `Condvar::wait(guard)` must
+/// sit under at least one enclosing `loop`/`while`/`for` brace.
+fn wait_loop_findings(file: &WsFile, caller: Node, out: &mut Vec<LintFinding>) {
+    let f = &file.items.fns[caller.1];
+    let code: Vec<usize> = f
+        .body_tokens
+        .clone()
+        .filter(|&i| file.tokens[i].kind.is_code())
+        .collect();
+    let texts: Vec<&str> = code
+        .iter()
+        .map(|&i| file.tokens[i].text(&file.src))
+        .collect();
+    let kinds: Vec<TokKind> = code.iter().map(|&i| file.tokens[i].kind).collect();
+    let guards = crate::effects::guard_vars(&texts, &kinds);
+    let mut loop_stack: Vec<bool> = Vec::new();
+    for k in 0..texts.len() {
+        match texts[k] {
+            "{" => {
+                // A brace opens a loop body when a loop keyword appears
+                // between it and the previous statement boundary.
+                let mut is_loop = false;
+                let mut j = k;
+                while j > 0 {
+                    j -= 1;
+                    match texts[j] {
+                        ";" | "{" | "}" => break,
+                        "loop" | "while" | "for"
+                            if matches!(kinds[j], TokKind::Ident | TokKind::RawIdent) =>
+                        {
+                            is_loop = true;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                loop_stack.push(is_loop);
+            }
+            "}" => {
+                loop_stack.pop();
+            }
+            "." if matches!(
+                texts.get(k + 1).copied(),
+                Some("wait" | "wait_timeout" | "wait_while")
+            ) && texts.get(k + 2).copied() == Some("(") =>
+            {
+                let Some(arg) = texts.get(k + 3) else {
+                    continue;
+                };
+                if !guards.iter().any(|g| g == *arg) {
+                    continue;
+                }
+                if !loop_stack.iter().any(|&l| l) {
+                    let line = file.tokens[code[k]].line;
+                    if !file.items.waived(Rule::LockOrder.id(), line) {
+                        out.push(LintFinding {
+                            rule: Rule::LockOrder,
+                            path: file.path.clone(),
+                            line,
+                            message: format!(
+                                "`Condvar::{}({arg})` outside a loop in fn `{}`; spurious wakeups are allowed — re-check the predicate in a `while`/`loop`",
+                                texts[k + 1], f.name,
+                            ),
+                            chain: Vec::new(),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Run the lock-order and condvar protocol checks over a workspace.
+pub fn findings(files: &[WsFile]) -> Vec<LintFinding> {
+    let resolver = Resolver::build(files);
+    let mut out: Vec<LintFinding> = Vec::new();
+    // Global acquisition-order edges: (from, to) → first witnessing site.
+    let mut edges: BTreeMap<(String, String), (String, usize, String)> = BTreeMap::new();
+
+    for (fi, file) in files.iter().enumerate() {
+        for (gi, f) in file.items.fns.iter().enumerate() {
+            if f.in_test || f.body_tokens.is_empty() {
+                continue;
+            }
+            let caller = (fi, gi);
+            // Cheap pre-filter: no `.lock(` and no wait family, no work.
+            let touches = body_calls(&file.src, &file.tokens, f.body_tokens.clone())
+                .iter()
+                .any(|c| {
+                    matches!(
+                        c.name.as_str(),
+                        "lock" | "wait" | "wait_timeout" | "wait_while"
+                    )
+                });
+            if !touches {
+                continue;
+            }
+            wait_loop_findings(file, caller, &mut out);
+            let cfg = cfg::build(
+                &file.src,
+                &file.tokens,
+                f.body_tokens.clone(),
+                LoopShape::ExactlyOnce,
+            );
+            let facts = dataflow::solve(
+                &cfg,
+                Dir::Forward,
+                Held(Some(BTreeMap::new())),
+                Held(None),
+                |b, input| {
+                    let mut held = match &input.0 {
+                        Some(m) => m.clone(),
+                        None => return input.clone(),
+                    };
+                    for step in &cfg.blocks[b].steps {
+                        exec_step(file, &resolver, caller, step, &mut held, None);
+                    }
+                    Held(Some(held))
+                },
+            );
+            // Replay reachable blocks to collect events at exact lines.
+            let mut events = Vec::new();
+            for (b, block) in cfg.blocks.iter().enumerate() {
+                let Some(entry) = &facts[b].0 else { continue };
+                let mut held = entry.clone();
+                for step in &block.steps {
+                    exec_step(file, &resolver, caller, step, &mut held, Some(&mut events));
+                }
+            }
+            let mut seen = BTreeSet::new();
+            for ev in events {
+                match ev {
+                    Event::DoubleLock { line, key } => {
+                        if seen.insert((line, key.clone(), String::new()))
+                            && !file.items.waived(Rule::LockOrder.id(), line)
+                        {
+                            out.push(LintFinding {
+                                rule: Rule::LockOrder,
+                                path: file.path.clone(),
+                                line,
+                                message: format!(
+                                    "fn `{}` acquires `{key}` while a guard on `{key}` is already held on this path — a non-reentrant mutex self-deadlocks",
+                                    f.name,
+                                ),
+                                chain: Vec::new(),
+                            });
+                        }
+                    }
+                    Event::OrderEdge { line, from, to } => {
+                        edges.entry((from, to)).or_insert((
+                            file.path.clone(),
+                            line,
+                            f.name.clone(),
+                        ));
+                    }
+                    Event::GuardAcrossWait {
+                        line,
+                        wait_key,
+                        other_var,
+                        other_key,
+                    } => {
+                        if seen.insert((line, wait_key.clone(), other_key.clone()))
+                            && !file.items.waived(Rule::LockOrder.id(), line)
+                        {
+                            out.push(LintFinding {
+                                rule: Rule::LockOrder,
+                                path: file.path.clone(),
+                                line,
+                                message: format!(
+                                    "fn `{}` holds guard `{other_var}` on `{other_key}` across `Condvar::wait` on `{wait_key}`; the wait releases only `{wait_key}` — drop `{other_var}` first or the wakers deadlock",
+                                    f.name,
+                                ),
+                                chain: Vec::new(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection on the global order graph: an edge is on a cycle
+    // when its target can reach its source.
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from.as_str()).or_default().push(to.as_str());
+    }
+    for ((from, to), (path, line, fn_name)) in &edges {
+        if let Some(cycle) = reach_path(&adj, to, from) {
+            let file = files.iter().find(|f| &f.path == path);
+            if file.is_some_and(|f| f.items.waived(Rule::LockOrder.id(), *line)) {
+                continue;
+            }
+            let mut ring = vec![from.clone()];
+            ring.extend(cycle);
+            ring.push(from.clone());
+            out.push(LintFinding {
+                rule: Rule::LockOrder,
+                path: path.clone(),
+                line: *line,
+                message: format!(
+                    "fn `{fn_name}` acquires `{to}` while holding `{from}`, completing the lock-order cycle {} — some other path takes these locks in the opposite order",
+                    ring.join(" -> "),
+                ),
+                chain: ring,
+            });
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line, &a.message).cmp(&(&b.path, b.line, &b.message)));
+    out.dedup_by(|a, b| a.path == b.path && a.line == b.line && a.message == b.message);
+    out
+}
+
+/// The node path from `start` to `goal` along `adj`, if one exists
+/// (deterministic DFS in key order). `start` itself is the first entry.
+fn reach_path(adj: &BTreeMap<&str, Vec<&str>>, start: &str, goal: &str) -> Option<Vec<String>> {
+    let mut stack = vec![(start, vec![start.to_string()])];
+    let mut seen = BTreeSet::new();
+    seen.insert(start);
+    while let Some((node, path)) = stack.pop() {
+        if node == goal {
+            return Some(path);
+        }
+        for &next in adj.get(node).into_iter().flatten() {
+            if seen.insert(next) {
+                let mut p = path.clone();
+                p.push(next.to_string());
+                stack.push((next, p));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::ws_file;
+
+    fn single(src: &str) -> Vec<LintFinding> {
+        findings(&[ws_file("crates/x/src/lib.rs", src, &[])])
+    }
+
+    const STRUCTS: &str = "\
+struct A { m: Mutex<u32> }
+struct B { n: Mutex<u32> }
+";
+
+    #[test]
+    fn opposite_acquisition_orders_cycle() {
+        let src = format!(
+            "{STRUCTS}\
+fn one(a: &A, b: &B) {{
+    let ga = a.m.lock().unwrap();
+    let gb = b.n.lock().unwrap();
+    drop(gb);
+    drop(ga);
+}}
+fn two(a: &A, b: &B) {{
+    let gb = b.n.lock().unwrap();
+    let ga = a.m.lock().unwrap();
+    drop(ga);
+    drop(gb);
+}}
+"
+        );
+        let f = single(&src);
+        assert_eq!(f.len(), 2, "{f:#?}");
+        assert!(f.iter().all(|x| x.rule == Rule::LockOrder));
+        assert!(f[0].message.contains("cycle"), "{}", f[0].message);
+        assert!(
+            f[0].message.contains("A.m -> B.n -> A.m")
+                || f[0].message.contains("B.n -> A.m -> B.n"),
+            "{}",
+            f[0].message
+        );
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = format!(
+            "{STRUCTS}\
+fn one(a: &A, b: &B) {{
+    let ga = a.m.lock().unwrap();
+    let gb = b.n.lock().unwrap();
+    drop(gb);
+    drop(ga);
+}}
+fn two(a: &A, b: &B) {{
+    let ga = a.m.lock().unwrap();
+    let gb = b.n.lock().unwrap();
+    drop(gb);
+    drop(ga);
+}}
+"
+        );
+        assert!(single(&src).is_empty());
+    }
+
+    #[test]
+    fn double_lock_same_field_on_a_path() {
+        let src = "\
+struct A { m: Mutex<u32> }
+fn f(a: &A) {
+    let g = a.m.lock().unwrap();
+    let h = a.m.lock().unwrap();
+    drop(h);
+    drop(g);
+}
+";
+        let f = single(src);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(f[0].message.contains("already held"), "{}", f[0].message);
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn drop_releases_before_reacquire() {
+        let src = "\
+struct A { m: Mutex<u32> }
+fn f(a: &A) {
+    let g = a.m.lock().unwrap();
+    drop(g);
+    let h = a.m.lock().unwrap();
+    drop(h);
+}
+";
+        assert!(single(src).is_empty());
+    }
+
+    #[test]
+    fn temporary_guards_do_not_hold() {
+        // `s.lock().unwrap().clear()` releases at the statement's end and
+        // the local receiver has no key anyway.
+        let src = "\
+struct A { m: Mutex<u32> }
+fn f(a: &A) {
+    a.m.lock().unwrap().clone();
+    let g = a.m.lock().unwrap();
+    drop(g);
+}
+";
+        assert!(single(src).is_empty());
+    }
+
+    #[test]
+    fn guard_across_wait_on_other_lock() {
+        let src = "\
+struct A { m: Mutex<u32> }
+struct F { state: Mutex<u32>, done: Condvar }
+fn f(a: &A, fl: &F) {
+    let ga = a.m.lock().unwrap();
+    let mut st = fl.state.lock().unwrap();
+    while *st == 0 {
+        st = fl.done.wait(st).unwrap();
+    }
+    drop(st);
+    drop(ga);
+}
+";
+        let f = single(src);
+        // One guard-across-wait finding (the A.m -> F.state edge has no
+        // reverse, so no cycle).
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(
+            f[0].message.contains("across `Condvar::wait`"),
+            "{}",
+            f[0].message
+        );
+    }
+
+    #[test]
+    fn wait_in_predicate_loop_is_clean() {
+        let src = "\
+struct F { state: Mutex<u32>, done: Condvar }
+fn f(fl: &F) -> u32 {
+    let mut st = fl.state.lock().unwrap();
+    loop {
+        if *st != 0 {
+            return *st;
+        }
+        st = fl.done.wait(st).unwrap();
+    }
+}
+";
+        assert!(single(src).is_empty());
+    }
+
+    #[test]
+    fn wait_without_loop_flagged() {
+        let src = "\
+struct F { state: Mutex<u32>, done: Condvar }
+fn f(fl: &F) -> u32 {
+    let mut st = fl.state.lock().unwrap();
+    if *st == 0 {
+        st = fl.done.wait(st).unwrap();
+    }
+    *st
+}
+";
+        let f = single(src);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(f[0].message.contains("outside a loop"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn method_receiver_resolves_to_its_field() {
+        let src = "\
+struct Inner { shards: Vec<Mutex<u32>> }
+impl Inner {
+    fn shard(&self, i: usize) -> &Mutex<u32> {
+        &self.shards[i % 4]
+    }
+    fn double(&self, i: usize) {
+        let a = self.shard(i).lock().unwrap();
+        let b = self.shard(i + 1).lock().unwrap();
+        drop(b);
+        drop(a);
+    }
+}
+";
+        let f = single(src);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(f[0].message.contains("Inner.shards"), "{}", f[0].message);
+        assert!(f[0].message.contains("already held"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn branch_held_facts_meet_as_intersection() {
+        // The guard is taken only on one branch; after the join nothing
+        // is must-held, so the later acquisition is clean.
+        let src = "\
+struct A { m: Mutex<u32> }
+fn f(a: &A, c: bool) {
+    if c {
+        let g = a.m.lock().unwrap();
+        drop(g);
+    }
+    let h = a.m.lock().unwrap();
+    drop(h);
+}
+";
+        assert!(single(src).is_empty());
+    }
+
+    #[test]
+    fn static_mutex_keys_on_its_name() {
+        let src = "\
+fn f() {
+    let g = FIRST.lock().unwrap();
+    let h = SECOND.lock().unwrap();
+    drop(h);
+    drop(g);
+}
+fn r() {
+    let h = SECOND.lock().unwrap();
+    let g = FIRST.lock().unwrap();
+    drop(g);
+    drop(h);
+}
+";
+        let f = single(src);
+        assert_eq!(f.len(), 2, "{f:#?}");
+        assert!(f[0].message.contains("cycle"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn waiver_suppresses_lock_order() {
+        let src = "\
+struct A { m: Mutex<u32> }
+fn f(a: &A) {
+    // dessan::allow(lock-order): re-entrant test shim, single-threaded by contract.
+    let g = a.m.lock().unwrap();
+    let h = a.m.lock().unwrap();
+    drop(h);
+    drop(g);
+}
+";
+        // The waiver sits on the *second* acquisition's line via its own
+        // line+1 coverage? No — it must sit directly above the reported
+        // line. Reported line is the second lock; put the waiver there.
+        let f = single(src);
+        assert_eq!(f.len(), 1, "waiver above wrong line still reports");
+        let fixed = "\
+struct A { m: Mutex<u32> }
+fn f(a: &A) {
+    let g = a.m.lock().unwrap();
+    // dessan::allow(lock-order): re-entrant test shim, single-threaded by contract.
+    let h = a.m.lock().unwrap();
+    drop(h);
+    drop(g);
+}
+";
+        assert!(single(fixed).is_empty());
+    }
+
+    #[test]
+    fn real_cache_shapes_stay_clean() {
+        // The doebenchd cache state machine's exact shapes: publish-drop-
+        // notify, wait-in-loop, per-shard temporaries.
+        let src = "\
+struct Flight { state: Mutex<u32>, done: Condvar }
+struct Pool { shards: Vec<Mutex<u32>> }
+impl Pool {
+    fn shard(&self, i: usize) -> &Mutex<u32> {
+        &self.shards[i % 4]
+    }
+    fn install(&self, i: usize) {
+        let mut map = self.shard(i).lock().unwrap();
+        drop(map);
+    }
+    fn total(&self) -> u32 {
+        self.shards.iter().map(|s| s.lock().unwrap().clone()).sum()
+    }
+}
+fn publish(fl: &Flight) {
+    let mut st = fl.state.lock().unwrap();
+    drop(st);
+    fl.done.notify_all();
+}
+fn wait(fl: &Flight) -> u32 {
+    let mut st = fl.state.lock().unwrap();
+    loop {
+        if *st != 0 {
+            return *st;
+        }
+        st = fl.done.wait(st).unwrap();
+    }
+}
+";
+        assert!(single(src).is_empty(), "{:#?}", single(src));
+    }
+}

@@ -54,7 +54,7 @@ fn fixture_corpus_matches_expectations_exactly() {
         .collect();
     entries.sort();
     assert!(
-        entries.len() >= 8,
+        entries.len() >= 16,
         "fixture corpus unexpectedly small ({} files)",
         entries.len()
     );
@@ -109,6 +109,9 @@ fn fixtures_cover_all_dataflow_rules() {
         "protocol-event-order",
         "protocol-buffer-annotate",
         "protocol-queue-drain",
+        "effect-contract",
+        "lock-order",
+        "key-coverage",
     ] {
         assert!(seen.contains(required), "no fixture exercises `{required}`");
     }

@@ -1,0 +1,19 @@
+//@ path: crates/doebenchd/src/fx_double_lock.rs
+//! Double acquisition of the same (non-reentrant) std Mutex on one
+//! path: the second `.lock()` self-deadlocks while the first guard is
+//! still live.
+
+use std::sync::Mutex;
+
+pub struct Meter {
+    counts: Mutex<u64>,
+}
+
+impl Meter {
+    pub fn bump(&self) -> u64 {
+        let mut a = self.counts.lock().unwrap();
+        *a += 1;
+        let b = self.counts.lock().unwrap(); //~ lock-order
+        *b
+    }
+}

@@ -1,0 +1,16 @@
+//@ path: crates/doebenchd/src/fx_effects_chain.rs
+//! Effect-contract violation through a two-hop call chain: the contract
+//! fn never blocks directly, but its call closure reaches `.join()`.
+
+// doebench::effects(no-block)
+pub fn pump(h: std::thread::JoinHandle<()>) { //~ effect-contract
+    step(h);
+}
+
+fn step(h: std::thread::JoinHandle<()>) {
+    finish(h);
+}
+
+fn finish(h: std::thread::JoinHandle<()>) {
+    let _ = h.join();
+}

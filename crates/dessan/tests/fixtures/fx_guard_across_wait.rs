@@ -1,0 +1,26 @@
+//@ path: crates/doebenchd/src/fx_guard_across_wait.rs
+//! A second guard held across `Condvar::wait`: the wait releases only
+//! its own mutex, so `stats` stays locked while this thread sleeps —
+//! starving every other `stats` user until a wakeup that may need
+//! `stats` to happen.
+
+use std::sync::{Condvar, Mutex};
+
+pub struct Pool {
+    jobs: Mutex<u32>,
+    stats: Mutex<u32>,
+    cv: Condvar,
+}
+
+impl Pool {
+    pub fn take(&self) -> u32 {
+        let mut s = self.stats.lock().unwrap();
+        let mut g = self.jobs.lock().unwrap();
+        while *g == 0 {
+            g = self.cv.wait(g).unwrap(); //~ lock-order
+        }
+        *g -= 1;
+        *s += 1;
+        *g
+    }
+}

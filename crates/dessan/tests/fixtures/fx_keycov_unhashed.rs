@@ -1,0 +1,18 @@
+//@ path: crates/doebenchd/src/fx_keycov_unhashed.rs
+//! Cache-key field-coverage hole: `window` was added to the key struct
+//! but never routed into the canonical serialization, so two configs
+//! differing only in `window` would alias to one cache entry.
+
+pub struct QueryParams {
+    pub profile: u32,
+    pub seed: Option<u64>,
+    pub window: u32, //~ key-coverage
+}
+
+pub struct Query;
+
+impl Query {
+    pub fn to_json(&self, params: &QueryParams) -> String {
+        format!("{} {:?}", params.profile, params.seed)
+    }
+}

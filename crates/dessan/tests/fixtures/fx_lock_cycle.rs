@@ -1,0 +1,23 @@
+//@ path: crates/doebenchd/src/fx_lock_cycle.rs
+//! Lock-acquisition-order cycle: `tick` takes REGISTRY before
+//! SCOREBOARD, `tock` the reverse — a classic ABBA deadlock. Each edge
+//! of the cycle is reported at its own acquisition site.
+
+use std::sync::Mutex;
+
+static REGISTRY: Mutex<u32> = Mutex::new(0);
+static SCOREBOARD: Mutex<u32> = Mutex::new(0);
+
+pub fn tick() {
+    let a = REGISTRY.lock().unwrap();
+    let b = SCOREBOARD.lock().unwrap(); //~ lock-order
+    drop(b);
+    drop(a);
+}
+
+pub fn tock() {
+    let b = SCOREBOARD.lock().unwrap();
+    let a = REGISTRY.lock().unwrap(); //~ lock-order
+    drop(a);
+    drop(b);
+}

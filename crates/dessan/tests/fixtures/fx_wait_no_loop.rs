@@ -1,0 +1,20 @@
+//@ path: crates/doebenchd/src/fx_wait_no_loop.rs
+//! `Condvar::wait` outside a loop: spurious wakeups make a bare `if`
+//! check unsound — the canonical shape is `while !cond { wait }`.
+
+use std::sync::{Condvar, Mutex};
+
+pub struct Gate {
+    state: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    pub fn pass(&self) {
+        let mut g = self.state.lock().unwrap();
+        if !*g {
+            g = self.cv.wait(g).unwrap(); //~ lock-order
+        }
+        *g = false;
+    }
+}

@@ -116,6 +116,68 @@ fn wall_clock_timestamp_is_caught_by_nondet_taint() {
 }
 
 #[test]
+fn unhashed_override_field_is_caught_by_key_coverage() {
+    // Dropping the `value` pair from the canonical query serialization
+    // makes two overrides that differ only in value share one cache key.
+    assert_mutation_detected(
+        "crates/core/src/query.rs",
+        "                        (\"value\", Json::Num(o.value)),\n",
+        "",
+        "key-coverage",
+    );
+}
+
+#[test]
+fn reacquired_shard_lock_is_caught_by_lock_order() {
+    // A second `.lock()` on the same shard while the first guard is live
+    // self-deadlocks (std Mutex is not reentrant).
+    assert_mutation_detected(
+        "crates/doebenchd/src/cache.rs",
+        "fn evict_inflight(&self, key: &Key, flight: &Arc<Flight<V>>) {\n        \
+         let mut map = self.shard(key).lock().unwrap();",
+        "fn evict_inflight(&self, key: &Key, flight: &Arc<Flight<V>>) {\n        \
+         let mut map = self.shard(key).lock().unwrap();\n        \
+         let map2 = self.shard(key).lock().unwrap();\n        drop(map2);",
+        "lock-order",
+    );
+}
+
+#[test]
+fn wait_stripped_of_its_loop_is_caught_by_lock_order() {
+    // Rewriting the canonical `loop { match … wait }` as a single `if`
+    // check is unsound under spurious wakeups.
+    assert_mutation_detected(
+        "crates/doebenchd/src/cache.rs",
+        "        let mut st = flight.state.lock().unwrap();\n        \
+         loop {\n            \
+         match &*st {\n                \
+         FlightState::Finished(v) => return v.clone(),\n                \
+         FlightState::Pending => st = flight.done.wait(st).unwrap(),\n            \
+         }\n        }",
+        "        let mut st = flight.state.lock().unwrap();\n        \
+         if let FlightState::Pending = &*st {\n            \
+         st = flight.done.wait(st).unwrap();\n        }\n        \
+         match &*st {\n            \
+         FlightState::Finished(v) => v.clone(),\n            \
+         FlightState::Pending => None,\n        }",
+        "lock-order",
+    );
+}
+
+#[test]
+fn sleep_in_hot_drain_is_caught_by_effect_contract() {
+    // `drain_window` declares `effects(no-block)`; an injected sleep is
+    // an OS-level block inside the per-window dispatch loop.
+    assert_mutation_detected(
+        "crates/simtime/src/shard.rs",
+        "self.queue.pop_batch(&mut self.batch);",
+        "std::thread::sleep(std::time::Duration::from_millis(1));\n            \
+         self.queue.pop_batch(&mut self.batch);",
+        "effect-contract",
+    );
+}
+
+#[test]
 fn unmutated_targets_are_clean_across_all_rules() {
     // The mutation targets must stay finding-free in their pristine form
     // for every rule, not just the one under test — otherwise a mutation
@@ -125,6 +187,9 @@ fn unmutated_targets_are_clean_across_all_rules() {
         "crates/gpurt/src/testkit.rs",
         "crates/machines/src/cpu.rs",
         "crates/mpisim/src/storm.rs",
+        "crates/core/src/query.rs",
+        "crates/doebenchd/src/cache.rs",
+        "crates/simtime/src/shard.rs",
     ] {
         let src = std::fs::read_to_string(workspace_root().join(rel))
             .unwrap_or_else(|e| panic!("{rel}: {e}"));

@@ -181,6 +181,7 @@ impl<V: Clone> Cache<V> {
 
     /// Look up a key, claiming ownership of the computation on a cold
     /// miss. Does not block; waiters block later, in [`Cache::wait`].
+    // doebench::effects(no-block)
     pub fn acquire(&self, key: &Key) -> Acquire<V> {
         let mut map = self.inner.shard(key).lock().unwrap();
         match map.get(&key.canon) {

@@ -219,6 +219,7 @@ impl<W, T> Lane<W, T> {
     /// whole same-timestamp group to the handler. Allocation-free once
     /// the batch scratch and queue arena are warm.
     // doebench::hot
+    // doebench::effects(no-block)
     fn drain_window<E, H>(&mut self, window_end: SimTime, handler: &H) -> Result<(), E>
     where
         H: Fn(&mut W, SimTime, &[Scheduled<T>], &mut LaneCtx<'_, T>) -> Result<(), E>,
